@@ -1,0 +1,149 @@
+package saiyan_test
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// regenerates the corresponding experiment (quick fidelity, fixed seed) and
+// reports the wall time of a full regeneration; run with
+//
+//	go test -bench=. -benchmem
+//
+// and use `go run ./cmd/saiyan run <id>` for the full-fidelity tables that
+// EXPERIMENTS.md records.
+
+import (
+	"io"
+	"testing"
+
+	"saiyan"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := saiyan.DefaultExperimentOptions()
+	opts.Quick = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := saiyan.RunExperiment(id, opts, io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkFig02 regenerates Figure 2: uplink BER of PLoRa and Aloba vs
+// tag-to-Tx distance.
+func BenchmarkFig02(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig03 regenerates Figure 3: chirps before/after the
+// frequency-amplitude transformation.
+func BenchmarkFig03(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig05 regenerates Figure 5: the SAW filter response.
+func BenchmarkFig05(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig06 regenerates Figure 6: SAW input/output per symbol.
+func BenchmarkFig06(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig07 regenerates Figure 7: comparator comparison.
+func BenchmarkFig07(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig08 regenerates Figure 8: the packet decoding walk-through.
+func BenchmarkFig08(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkTable1 regenerates Table 1: required sampling rates for 99.9%
+// accuracy.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkFig10 regenerates Figure 10: the cyclic-frequency-shifting SNR
+// gain.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig16 regenerates Figure 16: BER and throughput vs coding rate.
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Figure 17: range and throughput vs SF.
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkFig18 regenerates Figure 18: range and throughput vs bandwidth.
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkFig19 regenerates Figure 19: one concrete wall.
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+
+// BenchmarkFig20 regenerates Figure 20: two concrete walls.
+func BenchmarkFig20(b *testing.B) { benchExperiment(b, "fig20") }
+
+// BenchmarkFig21 regenerates Figure 21: detection range comparison.
+func BenchmarkFig21(b *testing.B) { benchExperiment(b, "fig21") }
+
+// BenchmarkFig22 regenerates Figure 22: RSS/BER vs distance and
+// sensitivity.
+func BenchmarkFig22(b *testing.B) { benchExperiment(b, "fig22") }
+
+// BenchmarkFig23 regenerates Figure 23: SAW amplitude gap vs distance.
+func BenchmarkFig23(b *testing.B) { benchExperiment(b, "fig23") }
+
+// BenchmarkFig24 regenerates Figure 24: temperature drift vs range.
+func BenchmarkFig24(b *testing.B) { benchExperiment(b, "fig24") }
+
+// BenchmarkFig25 regenerates Figure 25: the ablation study.
+func BenchmarkFig25(b *testing.B) { benchExperiment(b, "fig25") }
+
+// BenchmarkTable2 regenerates Table 2: the energy/cost ledger.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkFig26 regenerates Figure 26: PRR vs retransmissions.
+func BenchmarkFig26(b *testing.B) { benchExperiment(b, "fig26") }
+
+// BenchmarkFig27 regenerates Figure 27: channel-hopping PRR CDF.
+func BenchmarkFig27(b *testing.B) { benchExperiment(b, "fig27") }
+
+// Component-level microbenchmarks: the per-stage costs a porting effort
+// would care about.
+
+func BenchmarkDemodulateSymbolFull(b *testing.B) {
+	cfg := saiyan.DefaultConfig()
+	d, err := saiyan.NewDemodulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := saiyan.NewRand(1, 1)
+	const rss = -70.0
+	d.Calibrate(rss, rng)
+	p := cfg.Params
+	traj := p.FreqTrajectory(nil, p.SymbolValue(1), d.SimRateHz())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DemodulatePayload(traj, rss, 1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStandardReceiverSymbol(b *testing.B) {
+	p := saiyan.DefaultParams()
+	rx, err := saiyan.NewReceiver(p, p.BandwidthHz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iq := p.IQ(nil, 37, p.BandwidthHz)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rx.DemodSymbol(iq)
+	}
+}
+
+func BenchmarkCalibrate(b *testing.B) {
+	cfg := saiyan.DefaultConfig()
+	rng := saiyan.NewRand(9, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := saiyan.NewDemodulator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Calibrate(-70, rng)
+	}
+}

@@ -1,0 +1,81 @@
+// Command saiyan runs the paper-reproduction experiments from the terminal.
+//
+// Usage:
+//
+//	saiyan list                     enumerate every table/figure runner
+//	saiyan run fig16 [fig25 ...]    run selected experiments
+//	saiyan run all                  run the whole registry
+//
+// Flags:
+//
+//	-quick        reduced Monte-Carlo fidelity (seconds instead of minutes)
+//	-seed N       PRNG seed (default 20220404)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"saiyan"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run with reduced Monte-Carlo fidelity")
+	seed := flag.Uint64("seed", 20220404, "experiment PRNG seed")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := saiyan.DefaultExperimentOptions()
+	opts.Quick = *quick
+	opts.Seed = *seed
+
+	switch args[0] {
+	case "list":
+		for _, e := range saiyan.Experiments() {
+			fmt.Printf("%-6s  %s\n        paper: %s\n", e.ID, e.Title, e.PaperResult)
+		}
+	case "run":
+		ids := args[1:]
+		if len(ids) == 0 {
+			fmt.Fprintln(os.Stderr, "saiyan run: need experiment ids or 'all'")
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = ids[:0]
+			for _, e := range saiyan.Experiments() {
+				ids = append(ids, e.ID)
+			}
+		}
+		for _, id := range ids {
+			start := time.Now()
+			if err := saiyan.RunExperiment(id, opts, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "saiyan: %s failed: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `saiyan - reproduce the NSDI'22 Saiyan evaluation
+
+usage:
+  saiyan [flags] list
+  saiyan [flags] run <id>... | all
+
+flags:
+  -quick      reduced Monte-Carlo fidelity
+  -seed N     PRNG seed
+`)
+}

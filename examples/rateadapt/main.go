@@ -1,0 +1,54 @@
+// Rate adaptation (paper Section 1: "Adapting data rate to link condition").
+//
+// The access point probes the downlink BER at each coding rate (bits per
+// chirp) for the tag's current distance and commands the fastest rate whose
+// BER stays within the paper's 1-permille criterion. As the tag moves away,
+// the chosen rate steps down — exactly the behavior the feedback loop
+// enables.
+//
+// Run with: go run ./examples/rateadapt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"saiyan"
+	"saiyan/internal/mac"
+)
+
+func main() {
+	adapter := mac.DefaultRateAdapter()
+	fmt.Printf("target BER %.4f, rates CR %d..%d\n\n", adapter.BERTarget, adapter.MinK, adapter.MaxK)
+	fmt.Printf("%-12s %-10s %-14s %-12s\n", "distance (m)", "chosen CR", "rate (kbps)", "BER at CR")
+
+	for _, distance := range []float64{20, 80, 130, 140, 150, 170} {
+		berAt := func(k int) (float64, error) {
+			cfg := saiyan.DefaultConfig()
+			cfg.Params.K = k
+			link := saiyan.NewLink(cfg, saiyan.DefaultLinkBudget(), 777)
+			res, err := link.MeasureBER(distance, 1200)
+			if err != nil {
+				return 0, err
+			}
+			return res.BER(), nil
+		}
+		k, met, err := adapter.Pick(berAt)
+		if err != nil {
+			log.Fatalf("probing rates: %v", err)
+		}
+		cfg := saiyan.DefaultConfig()
+		cfg.Params.K = k
+		ber, err := berAt(k)
+		if err != nil {
+			log.Fatalf("probing chosen rate: %v", err)
+		}
+		status := ""
+		if !met {
+			status = " (target unreachable, floor rate)"
+		}
+		fmt.Printf("%-12.0f CR %-7d %-14.2f %.2e%s\n",
+			distance, k, cfg.Params.BitRate()/1000, ber, status)
+	}
+	fmt.Println("\nfarther tags drop to sturdier (slower) rates; near tags ride the fast lane")
+}

@@ -1,0 +1,337 @@
+package analog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"saiyan/internal/dsp"
+)
+
+func TestSAWPaperAnchors(t *testing.T) {
+	s := PaperSAW()
+	// Figure 5's quoted amplitude gaps.
+	cases := []struct {
+		bw   float64
+		want float64
+	}{
+		{500e3, 25}, {250e3, 9.5}, {125e3, 7.2},
+	}
+	for _, c := range cases {
+		if got := s.AmplitudeGapDB(c.bw); math.Abs(got-c.want) > 0.01 {
+			t.Errorf("gap(%g kHz) = %g dB, want %g", c.bw/1000, got, c.want)
+		}
+	}
+	if il := s.InsertionLossDB(); math.Abs(il-10) > 0.01 {
+		t.Errorf("insertion loss = %g dB, want 10", il)
+	}
+}
+
+func TestSAWMonotoneInCriticalBand(t *testing.T) {
+	s := PaperSAW()
+	prev := math.Inf(-1)
+	for f := 433.5e6; f <= 434.0e6; f += 10e3 {
+		r := s.ResponseDB(f)
+		if r < prev {
+			t.Fatalf("response not monotone at %g MHz: %g < %g", f/1e6, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestSAWClampsOutsideAnchors(t *testing.T) {
+	s := PaperSAW()
+	if s.ResponseDB(100e6) != -60 || s.ResponseDB(900e6) != -60 {
+		t.Error("out-of-range frequencies should clamp to the edge anchors")
+	}
+}
+
+func TestSAWDriftShiftsResponse(t *testing.T) {
+	s := PaperSAW()
+	base := s.ResponseDB(433.8e6)
+	s.SetDrift(-200e3) // band moved down 200 kHz (hot device)
+	shifted := s.ResponseDB(433.8e6 - 200e3)
+	if math.Abs(base-shifted) > 1e-9 {
+		t.Errorf("drifted response mismatch: %g vs %g", base, shifted)
+	}
+	if s.Drift() != -200e3 {
+		t.Errorf("Drift() = %g", s.Drift())
+	}
+	// Drift shrinks the measured gap because the chirp band no longer ends
+	// exactly at the response top.
+	s.SetDrift(0)
+	gap0 := s.AmplitudeGapDB(500e3)
+	s.SetDrift(-400e3)
+	top := CriticalBandTopHz // chirp band stays fixed; response moved down
+	gapDrift := s.ResponseDB(top) - s.ResponseDB(top-500e3)
+	if gapDrift >= gap0 {
+		t.Errorf("drift should shrink the usable gap: %g >= %g", gapDrift, gap0)
+	}
+}
+
+func TestNewSAWFilterValidation(t *testing.T) {
+	if _, err := NewSAWFilter(nil); err == nil {
+		t.Error("empty anchor list accepted")
+	}
+	if _, err := NewSAWFilter([]SAWPoint{{2, 0}, {1, 0}}); err == nil {
+		t.Error("unsorted anchors accepted")
+	}
+}
+
+func TestSAWTransformTracksFrequency(t *testing.T) {
+	s := PaperSAW()
+	freqs := []float64{433.5e6, 433.75e6, 434.0e6}
+	amps := s.Transform(nil, freqs)
+	if !(amps[0] < amps[1] && amps[1] < amps[2]) {
+		t.Errorf("amplitudes %v not increasing with frequency", amps)
+	}
+	// Linear gain must match the dB response.
+	want := dsp.AmpFromDB(s.ResponseDB(433.75e6))
+	if math.Abs(amps[1]-want) > 1e-12 {
+		t.Errorf("gain = %g, want %g", amps[1], want)
+	}
+}
+
+func TestEnvelopeDetectorSquareLaw(t *testing.T) {
+	e := EnvelopeDetector{ScaleK: 2}
+	x := []complex128{complex(3, 4), complex(0, 1)}
+	y := e.Detect(nil, x)
+	if math.Abs(y[0]-50) > 1e-12 || math.Abs(y[1]-2) > 1e-12 {
+		t.Errorf("y = %v, want [50 2]", y)
+	}
+	// Zero ScaleK defaults to 1.
+	e0 := EnvelopeDetector{}
+	if y := e0.Detect(nil, x); math.Abs(y[0]-25) > 1e-12 {
+		t.Errorf("default k: y[0] = %g, want 25", y[0])
+	}
+}
+
+func TestEnvelopeSelfMixingPenalty(t *testing.T) {
+	// Square-law small-signal suppression: halving the input SNR must cost
+	// MORE than a factor of two in output SNR when noise self-mixing
+	// dominates. This is the physics behind the paper's Eq. (4).
+	rng := dsp.NewRand(12, 13)
+	e := EnvelopeDetector{ScaleK: 1}
+	outSNR := func(inSNRdB float64) float64 {
+		n := 1 << 15
+		x := make([]complex128, n)
+		amp := math.Sqrt(dsp.FromDB(inSNRdB))
+		for i := range x {
+			x[i] = complex(amp, 0)
+		}
+		dsp.AddComplexNoise(x, 1, rng)
+		y := e.Detect(nil, x)
+		// The informative term is A^2 = mean(y) minus the unit noise
+		// power folded in by |n|^2; the fluctuation is var(y).
+		sig := dsp.Mean(y) - 1
+		return dsp.DB(sig * sig / dsp.Variance(y))
+	}
+	// Analytically SNR_out = A^4/(2A^2+1): a 15 dB input drop should cost
+	// ~16.7 dB at the output (more than 1:1 — the square-law penalty).
+	drop := outSNR(15) - outSNR(0)
+	if drop < 15.5 {
+		t.Errorf("15 dB input drop cost only %g dB at output; want > 15.5 (square-law penalty)", drop)
+	}
+}
+
+func TestAddBasebandImpairments(t *testing.T) {
+	e := DefaultEnvelopeDetector()
+	rng := dsp.NewRand(3, 9)
+	y := make([]float64, 4096)
+	e.AddBasebandImpairments(y, 400e3, rng)
+	// 1/f noise converges slowly, so the sample mean can sit a sizable
+	// fraction of FlickerSigma away from the DC offset.
+	if m := dsp.Mean(y); math.Abs(m-e.DCOffset) > e.FlickerSigma {
+		t.Errorf("mean = %g, want within one flicker sigma of DC offset %g", m, e.DCOffset)
+	}
+	if v := dsp.Variance(y); v < 0.25*e.FlickerSigma*e.FlickerSigma {
+		t.Errorf("variance = %g, want flicker noise present (sigma %g)", v, e.FlickerSigma)
+	}
+}
+
+func TestComparatorHysteresis(t *testing.T) {
+	c, err := NewComparator(1.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rises above High, dips to between Low and High (stays high), falls
+	// below Low (goes low), chatters below High (stays low).
+	x := []float64{0, 0.6, 1.2, 0.7, 1.1, 0.4, 0.9, 0.3}
+	want := []bool{false, false, true, true, true, false, false, false}
+	got := c.Quantize(nil, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d: got %v, want %v (x=%g)", i, got[i], want[i], x[i])
+		}
+	}
+}
+
+func TestComparatorEquationThree(t *testing.T) {
+	// Property: the output never rises without crossing High and never
+	// falls without crossing below Low — Eq. (3) verbatim.
+	f := func(seed uint64) bool {
+		rng := dsp.NewRand(seed, 41)
+		c := Comparator{High: 0.8, Low: 0.3}
+		x := make([]float64, 200)
+		for i := range x {
+			x[i] = rng.Float64() * 1.2
+		}
+		b := c.Quantize(nil, x)
+		prev := false
+		for i, s := range b {
+			if s && !prev && x[i] < c.High {
+				return false
+			}
+			if !s && prev && x[i] >= c.Low {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewComparatorRejectsInverted(t *testing.T) {
+	if _, err := NewComparator(0.2, 0.9); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+}
+
+func TestDoubleThresholdBeatsSingleOnChatter(t *testing.T) {
+	// Figure 7's scenario: an envelope with a misleading bump and a valley
+	// near the peak. The single thresholds chatter; the double threshold
+	// yields exactly one high run.
+	x := []float64{
+		0.1, 0.15, 0.45, 0.5, 0.42, 0.2, // misleading bump (above U_L)
+		0.3, 0.6, 0.85, 0.75, 0.65, 0.9, 0.95, // peak with a valley (dips below U_H)
+		0.2, 0.1, 0.05,
+	}
+	uh, ul := 0.8, 0.4
+	double := Comparator{High: uh, Low: ul}
+	if n := Transitions(double.Quantize(nil, x)); n != 1 {
+		t.Errorf("double threshold rising edges = %d, want 1", n)
+	}
+	if n := Transitions(SingleThreshold{uh}.Quantize(nil, x)); n < 2 {
+		t.Errorf("single U_H rising edges = %d, want >= 2 (valley chatter)", n)
+	}
+	if n := Transitions(SingleThreshold{ul}.Quantize(nil, x)); n < 2 {
+		t.Errorf("single U_L rising edges = %d, want >= 2 (false bump)", n)
+	}
+}
+
+func TestLastHighIndex(t *testing.T) {
+	b := []bool{false, true, true, false, true, false}
+	if i, ok := LastHighIndex(b); !ok || i != 4 {
+		t.Errorf("got (%d,%v), want (4,true)", i, ok)
+	}
+	if _, ok := LastHighIndex([]bool{false, false}); ok {
+		t.Error("all-low stream reported a high sample")
+	}
+}
+
+func TestThresholdsFromEnvelope(t *testing.T) {
+	env := []float64{0.1, 0.5, 2.0, 1.0}
+	c := ThresholdsFromEnvelope(env, 6, 0.3) // U_H = 2/10^(6/20) ~ 1.0
+	if math.Abs(c.High-2/math.Pow(10, 0.3)) > 1e-12 {
+		t.Errorf("U_H = %g", c.High)
+	}
+	if math.Abs(c.Low-(c.High-0.3)) > 1e-12 {
+		t.Errorf("U_L = %g, want U_H - 0.3", c.Low)
+	}
+	// Huge ripple clamps U_L to zero rather than going negative.
+	if c := ThresholdsFromEnvelope(env, 6, 100); c.Low != 0 {
+		t.Errorf("U_L = %g, want clamp at 0", c.Low)
+	}
+}
+
+func TestOscillatorToneAndMix(t *testing.T) {
+	o := Oscillator{FreqHz: 1000}
+	const fs = 16000.0
+	tone := o.Tone(nil, 64, fs, 0)
+	if math.Abs(tone[0]-1) > 1e-12 {
+		t.Errorf("tone[0] = %g, want 1", tone[0])
+	}
+	// One full cycle every 16 samples.
+	if math.Abs(tone[16]-1) > 1e-9 {
+		t.Errorf("tone[16] = %g, want 1", tone[16])
+	}
+	// MixReal against itself yields cos^2 with mean 1/2.
+	x := o.Tone(nil, 4096, fs, 0)
+	o.MixReal(x, fs, 0)
+	if m := dsp.Mean(x); math.Abs(m-0.5) > 0.01 {
+		t.Errorf("mean of cos^2 = %g, want 0.5", m)
+	}
+	// MixComplex halves the complex power on average (|cos|^2 mean 1/2).
+	xc := make([]complex128, 4096)
+	for i := range xc {
+		xc[i] = 1
+	}
+	o.MixComplex(xc, fs, 0)
+	if p := dsp.ComplexPower(xc); math.Abs(p-0.5) > 0.01 {
+		t.Errorf("mixed power = %g, want 0.5", p)
+	}
+}
+
+func TestIFAmplifierGain(t *testing.T) {
+	a := IFAmplifier{GainDB: 20}
+	x := []float64{1, -2}
+	a.Apply(x)
+	if math.Abs(x[0]-10) > 1e-9 || math.Abs(x[1]+20) > 1e-9 {
+		t.Errorf("x = %v, want [10 -20]", x)
+	}
+}
+
+func TestSamplerDecimation(t *testing.T) {
+	s, err := NewSampler(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	y := s.SampleFloats(nil, x)
+	want := []float64{2, 6, 10, 14}
+	if len(y) != len(want) {
+		t.Fatalf("len = %d, want %d", len(y), len(want))
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	if s.OutputLen(16) != 4 {
+		t.Errorf("OutputLen(16) = %d, want 4", s.OutputLen(16))
+	}
+	if s.OutputLen(1) != 0 {
+		t.Errorf("OutputLen(1) = %d, want 0", s.OutputLen(1))
+	}
+	b := make([]bool, 16)
+	b[6] = true
+	bs := s.SampleBits(nil, b)
+	if len(bs) != 4 || !bs[1] {
+		t.Errorf("SampleBits = %v, want index 1 true", bs)
+	}
+}
+
+func TestNewSamplerRejectsZero(t *testing.T) {
+	if _, err := NewSampler(0); err == nil {
+		t.Error("zero oversample accepted")
+	}
+}
+
+func TestDefaultConstructors(t *testing.T) {
+	if l := DefaultLNA(); l.GainDB <= 0 || l.NoiseFigureDB <= 0 {
+		t.Error("DefaultLNA not positive")
+	}
+	if a := DefaultIFAmplifier(); a.GainDB <= 0 {
+		t.Error("DefaultIFAmplifier not positive")
+	}
+	e := DefaultEnvelopeDetector()
+	if e.FlickerSigma <= 0 || e.DCOffset <= 0 {
+		t.Error("DefaultEnvelopeDetector impairments missing")
+	}
+}

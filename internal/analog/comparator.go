@@ -1,0 +1,108 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// Comparator quantizes the baseband envelope into a binary voltage stream.
+// Saiyan's design (Section 2.2, Eq. (3)) uses two thresholds with
+// hysteresis: the output goes high only when the input exceeds High, and
+// returns low only when the input falls below Low, so amplitude chatter
+// between the two rails cannot toggle the output.
+type Comparator struct {
+	High float64 // U_H
+	Low  float64 // U_L
+}
+
+// NewComparator validates that High >= Low.
+func NewComparator(high, low float64) (Comparator, error) {
+	if low > high {
+		return Comparator{}, fmt.Errorf("analog: comparator U_L=%g above U_H=%g", low, high)
+	}
+	return Comparator{High: high, Low: low}, nil
+}
+
+// Quantize implements Eq. (3): B_i depends on A_i and B_{i-1}. The initial
+// state is low. dst is grown as needed and returned.
+func (c Comparator) Quantize(dst []bool, x []float64) []bool {
+	if cap(dst) < len(x) {
+		dst = make([]bool, len(x))
+	}
+	dst = dst[:len(x)]
+	state := false
+	for i, a := range x {
+		if state {
+			state = a >= c.Low
+		} else {
+			state = a >= c.High
+		}
+		dst[i] = state
+	}
+	return dst
+}
+
+// SingleThreshold is the naive comparator the paper compares against in
+// Figure 7: one cut-off voltage, no hysteresis.
+type SingleThreshold struct {
+	Level float64
+}
+
+// Quantize outputs high whenever the input is at or above the level.
+func (s SingleThreshold) Quantize(dst []bool, x []float64) []bool {
+	if cap(dst) < len(x) {
+		dst = make([]bool, len(x))
+	}
+	dst = dst[:len(x)]
+	for i, a := range x {
+		dst[i] = a >= s.Level
+	}
+	return dst
+}
+
+// Transitions counts rising edges in a binary stream — the chatter metric
+// used to show why the double-threshold design is needed.
+func Transitions(b []bool) int {
+	n := 0
+	for i := 1; i < len(b); i++ {
+		if b[i] && !b[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// LastHighIndex returns the index of the final true sample (the tail t_F of
+// the high run, which marks the amplitude peak in Saiyan's decoder) and
+// whether any high sample exists.
+func LastHighIndex(b []bool) (int, bool) {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ThresholdsFromEnvelope derives (U_H, U_L) the way Section 4.1 prescribes:
+// U_H sits gapDB below the observed peak amplitude Amax
+// (G = 20*lg(Amax/U_H)), and U_L sits one ripple amplitude U_F below U_H.
+// The prototype stores these per link distance in a calibration table; the
+// simulator computes them from a reference (training) envelope.
+func ThresholdsFromEnvelope(envelope []float64, gapDB, rippleUF float64) Comparator {
+	amax := 0.0
+	for _, v := range envelope {
+		if v > amax {
+			amax = v
+		}
+	}
+	high := amax / math.Pow(10, gapDB/20)
+	low := high - rippleUF
+	if low < 0 {
+		low = 0
+	}
+	if low > high {
+		low = high
+	}
+	return Comparator{High: high, Low: low}
+}

@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"saiyan/internal/dsp"
+	"saiyan/internal/lora"
+	"saiyan/internal/radio"
+)
+
+func TestConventionalReceiverEnvelopeLevels(t *testing.T) {
+	c := DefaultConventionalReceiver()
+	rng := dsp.NewRand(1, 1)
+	on := c.RenderEnvelope(2000, nil, -50, rng)
+	off := c.RenderEnvelope(2000, packetMask(0, 0, 2000), math.Inf(-1), rng)
+	if dsp.Mean(on) <= dsp.Mean(off) {
+		t.Error("signal envelope not above noise envelope")
+	}
+}
+
+func TestPacketMask(t *testing.T) {
+	m := packetMask(2, 3, 8)
+	want := []bool{false, false, true, true, true, false, false, false}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("mask[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+	// On-period clipped at the total length.
+	m = packetMask(6, 10, 8)
+	if !m[7] || m[5] {
+		t.Error("clipped mask wrong")
+	}
+}
+
+func TestDetectorsFireOnStrongPackets(t *testing.T) {
+	c := DefaultConventionalReceiver()
+	p := lora.DefaultParams()
+	dur := (lora.PreambleUpchirps + lora.SyncSymbols) * p.SymbolDuration()
+	for _, det := range []Detector{
+		NewPLoRaDetector(dur, c.SampleRateHz),
+		NewAlobaDetector(dur, c.SampleRateHz),
+	} {
+		rng := dsp.NewRand(7, 7)
+		if prob := DetectionProbability(c, det, -40, dur, 20, rng); prob < 0.95 {
+			t.Errorf("%s: detection at -40 dBm = %g, want ~1", det.Name(), prob)
+		}
+	}
+}
+
+func TestDetectorsQuietOnNoise(t *testing.T) {
+	c := DefaultConventionalReceiver()
+	p := lora.DefaultParams()
+	dur := (lora.PreambleUpchirps + lora.SyncSymbols) * p.SymbolDuration()
+	for _, det := range []Detector{
+		NewPLoRaDetector(dur, c.SampleRateHz),
+		NewAlobaDetector(dur, c.SampleRateHz),
+	} {
+		rng := dsp.NewRand(8, 8)
+		if prob := DetectionProbability(c, det, math.Inf(-1), dur, 20, rng); prob > 0.1 {
+			t.Errorf("%s: false positive rate on noise = %g, want ~0", det.Name(), prob)
+		}
+	}
+}
+
+func TestDetectionRangesMatchPaperOrdering(t *testing.T) {
+	// Figure 21 outdoors: PLoRa 42.4 m, Aloba 30.6 m — PLoRa's correlation
+	// outranges Aloba's moving average, and both fall far short of
+	// Saiyan's ~148 m.
+	c := DefaultConventionalReceiver()
+	p := lora.DefaultParams()
+	dur := (lora.PreambleUpchirps + lora.SyncSymbols) * p.SymbolDuration()
+	budget := radio.DefaultLinkBudget()
+	plora := DetectionRange(c, NewPLoRaDetector(dur, c.SampleRateHz), budget, 0.9, 16, 11)
+	aloba := DetectionRange(c, NewAlobaDetector(dur, c.SampleRateHz), budget, 0.9, 16, 11)
+	t.Logf("detection ranges: PLoRa %.1f m, Aloba %.1f m", plora, aloba)
+	if plora <= aloba {
+		t.Errorf("PLoRa (%.1f m) should outrange Aloba (%.1f m)", plora, aloba)
+	}
+	if plora < 20 || plora > 90 {
+		t.Errorf("PLoRa range %.1f m outside plausible band [20, 90]", plora)
+	}
+	if aloba < 12 || aloba > 60 {
+		t.Errorf("Aloba range %.1f m outside plausible band [12, 60]", aloba)
+	}
+}
+
+func TestPLoRaUplinkBERCurve(t *testing.T) {
+	u, err := NewPLoRaUplink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dsp.NewRand(2, 2)
+	// CSS has huge processing gain: at 0 dB the BER should be tiny; far
+	// below the noise floor it should approach 0.5.
+	good := u.BER(0, 300, rng)
+	bad := u.BER(-25, 300, rng)
+	if good > 0.01 {
+		t.Errorf("PLoRa BER at 0 dB = %g, want ~0", good)
+	}
+	if bad < 0.2 {
+		t.Errorf("PLoRa BER at -25 dB = %g, want ~0.5", bad)
+	}
+	if u.BitsPerSymbol() != 9 {
+		t.Errorf("bits/symbol = %d, want 9", u.BitsPerSymbol())
+	}
+}
+
+func TestAlobaUplinkWorseThanPLoRa(t *testing.T) {
+	pl, err := NewPLoRaUplink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := NewAlobaUplink()
+	rng := dsp.NewRand(3, 3)
+	const snr = -8.0
+	plBER := pl.BER(snr, 400, rng)
+	alBER := al.BER(snr, 400, rng)
+	if alBER <= plBER {
+		t.Errorf("OOK (%g) should err more than CSS (%g) at %g dB", alBER, plBER, snr)
+	}
+}
+
+func TestUplinkBERRisesWithTagDistance(t *testing.T) {
+	// The Figure 2 shape: with Tx and Rx 100 m apart, moving the tag away
+	// from the Tx raises the uplink BER dramatically.
+	u, err := NewPLoRaUplink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := radio.DefaultBackscatterLink()
+	near := UplinkBERAtGeometry(u, link, 1, 100, 200, 5)
+	far := UplinkBERAtGeometry(u, link, 20, 100, 200, 5)
+	t.Logf("PLoRa uplink BER: 1 m %.4f, 20 m %.4f", near, far)
+	if far <= near {
+		t.Errorf("BER should rise with tag-to-Tx distance: near %g far %g", near, far)
+	}
+	if far < 0.05 {
+		t.Errorf("BER at 20 m = %g, want the Figure 2 collapse", far)
+	}
+}
+
+func TestPacketPRR(t *testing.T) {
+	if PacketPRR(0, 100) != 1 {
+		t.Error("zero BER should give PRR 1")
+	}
+	if PacketPRR(1, 100) != 0 {
+		t.Error("BER 1 should give PRR 0")
+	}
+	got := PacketPRR(0.01, 100)
+	want := math.Pow(0.99, 100)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("PRR = %g, want %g", got, want)
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	if NewPLoRaDetector(0.01, 50e3).Name() != "PLoRa" {
+		t.Error("PLoRa name")
+	}
+	if NewAlobaDetector(0.01, 50e3).Name() != "Aloba" {
+		t.Error("Aloba name")
+	}
+	pl, _ := NewPLoRaUplink()
+	if pl.Name() != "PLoRa" || NewAlobaUplink().Name() != "Aloba" {
+		t.Error("uplink names")
+	}
+}

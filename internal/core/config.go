@@ -1,0 +1,162 @@
+// Package core implements the Saiyan demodulator — the paper's primary
+// contribution. It composes the analog front end (SAW frequency-amplitude
+// transformation, envelope detection, optional cyclic-frequency shifting)
+// with the double-threshold comparator, low-rate voltage sampler, and the
+// peak-tracking / correlation decoders, plus tag-side preamble detection.
+//
+// The demodulator operates on instantaneous-frequency trajectories (what
+// the antenna sees) and a received signal strength from the link budget;
+// everything downstream of the antenna is simulated, not parameterized —
+// see DESIGN.md for the substitution argument.
+package core
+
+import (
+	"fmt"
+
+	"saiyan/internal/analog"
+	"saiyan/internal/lora"
+)
+
+// Mode selects the demodulator variant evaluated in the paper's ablation
+// (Figure 25).
+type Mode int
+
+const (
+	// ModeVanilla is Section 2: SAW -> LNA -> envelope detector ->
+	// double-threshold comparator -> counter.
+	ModeVanilla Mode = iota
+	// ModeFreqShift adds the cyclic-frequency-shifting circuit of
+	// Section 3.1 (~11 dB SNR gain).
+	ModeFreqShift
+	// ModeFull additionally decodes by template correlation
+	// (Section 3.2) instead of the comparator.
+	ModeFull
+)
+
+// String names the mode the way the ablation figure does.
+func (m Mode) String() string {
+	switch m {
+	case ModeVanilla:
+		return "vanilla"
+	case ModeFreqShift:
+		return "freq-shift"
+	case ModeFull:
+		return "full"
+	}
+	return "unknown"
+}
+
+// Config assembles a Saiyan demodulator.
+type Config struct {
+	Params lora.Params
+	Mode   Mode
+
+	// SampleRateMultiplier scales the sampler rate relative to BW/2^(SF-K).
+	// The paper's conservative default is 3.2 (Section 2.3); Table 1 sweeps
+	// this to find the minimum workable value.
+	SampleRateMultiplier float64
+
+	// Oversample is the ratio of the internal analog simulation rate to the
+	// sampler rate. Default 16.
+	Oversample int
+
+	// CorrOversample is the correlator's sampling-rate advantage over the
+	// comparator sampler in ModeFull. Default 4.
+	CorrOversample int
+
+	SAW      *analog.SAWFilter
+	LNA      analog.LNA
+	Envelope analog.EnvelopeDetector
+	IFAmp    analog.IFAmplifier
+
+	// ClockPhaseError is the residual phase misalignment of CLKout after
+	// the delay line (radians); the paper tunes it to ~0 (cos(dphi)~1).
+	ClockPhaseError float64
+
+	// ThresholdGapDB is G = 20*lg(Amax/U_H), the headroom between the peak
+	// amplitude and the high threshold (Section 4.1). Default 5 dB of
+	// envelope-power headroom, covering the sampling-phase variability of
+	// the sampled peak.
+	ThresholdGapDB float64
+
+	// VideoCutoffFrac sets the post-detection low-pass cutoff as a fraction
+	// of the sampler rate. Default 0.5 (Nyquist of the sampler).
+	VideoCutoffFrac float64
+}
+
+// DefaultConfig returns the paper's full system at its Section 5 defaults.
+func DefaultConfig() Config {
+	return Config{
+		Params:               lora.DefaultParams(),
+		Mode:                 ModeFull,
+		SampleRateMultiplier: 3.2,
+		Oversample:           16,
+		CorrOversample:       4,
+		SAW:                  analog.PaperSAW(),
+		LNA:                  analog.DefaultLNA(),
+		Envelope:             analog.DefaultEnvelopeDetector(),
+		IFAmp:                analog.DefaultIFAmplifier(),
+		ThresholdGapDB:       5,
+		VideoCutoffFrac:      0.5,
+	}
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Params.Validate(); err != nil {
+		return c, err
+	}
+	if c.SampleRateMultiplier == 0 {
+		c.SampleRateMultiplier = 3.2
+	}
+	if c.SampleRateMultiplier < 0.5 {
+		return c, fmt.Errorf("core: sample rate multiplier %g below 0.5 cannot resolve symbols", c.SampleRateMultiplier)
+	}
+	if c.Oversample == 0 {
+		c.Oversample = 16
+	}
+	if c.Oversample < 2 {
+		return c, fmt.Errorf("core: oversample %d < 2", c.Oversample)
+	}
+	if c.CorrOversample == 0 {
+		c.CorrOversample = 4
+	}
+	if c.CorrOversample < 1 || c.CorrOversample > c.Oversample {
+		return c, fmt.Errorf("core: correlator oversample %d outside [1, %d]", c.CorrOversample, c.Oversample)
+	}
+	if c.Oversample%c.CorrOversample != 0 {
+		return c, fmt.Errorf("core: oversample %d not divisible by correlator oversample %d", c.Oversample, c.CorrOversample)
+	}
+	if c.SAW == nil {
+		c.SAW = analog.PaperSAW()
+	}
+	if c.LNA == (analog.LNA{}) {
+		c.LNA = analog.DefaultLNA()
+	}
+	if c.Envelope == (analog.EnvelopeDetector{}) {
+		c.Envelope = analog.DefaultEnvelopeDetector()
+	}
+	if c.IFAmp == (analog.IFAmplifier{}) {
+		c.IFAmp = analog.DefaultIFAmplifier()
+	}
+	if c.ThresholdGapDB == 0 {
+		c.ThresholdGapDB = 5
+	}
+	if c.VideoCutoffFrac == 0 {
+		c.VideoCutoffFrac = 0.5
+	}
+	if c.VideoCutoffFrac < 0.05 || c.VideoCutoffFrac > 2 {
+		return c, fmt.Errorf("core: video cutoff fraction %g outside [0.05, 2]", c.VideoCutoffFrac)
+	}
+	return c, nil
+}
+
+// SamplerRateHz is the comparator sampling rate for the configuration.
+func (c Config) SamplerRateHz() float64 {
+	return c.SampleRateMultiplier * c.Params.BandwidthHz / float64(c.Params.AlphabetStride())
+}
+
+// SimRateHz is the internal analog simulation rate.
+func (c Config) SimRateHz() float64 {
+	return c.SamplerRateHz() * float64(c.Oversample)
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"saiyan/internal/analog"
+	"saiyan/internal/dsp"
+	"saiyan/internal/lora"
+)
+
+// Calibrate prepares the demodulator for a link whose feedback signals
+// arrive at rssDBm. It mirrors the prototype's offline procedure
+// (Section 4.1): measure the peak envelope amplitude Amax and the envelope
+// ripple at this distance, derive U_H = Amax/10^(G/20) and U_L = U_H - U_F,
+// and (in ModeFull) render the correlation templates.
+//
+// The rng seeds the calibration noise; calibration with the same seed is
+// deterministic.
+func (d *Demodulator) Calibrate(rssDBm float64, rng *rand.Rand) {
+	p := d.cfg.Params
+	fs := d.fsSim
+
+	// Noise-only render: baseline level and ripple of the envelope.
+	quiet := make([]float64, int(d.spbSim*4))
+	env := d.RenderEnvelope(nil, quiet, math.Inf(-1), rng)
+	d.baseline = dsp.Mean(env)
+	d.noiseSigma = dsp.StdDev(env)
+
+	// Signal render: a few preamble up-chirps at the calibration RSS, with
+	// noise, as a field measurement would see them.
+	traj := make([]float64, 0, int(d.spbSim*4))
+	one := p.FreqTrajectory(nil, 0, fs)
+	for i := 0; i < 4; i++ {
+		traj = append(traj, one...)
+	}
+	sig := d.RenderEnvelope(nil, traj, rssDBm, rng)
+	d.amax = dsp.Percentile(sig, 99)
+
+	headroom := math.Pow(10, -d.cfg.ThresholdGapDB/20)
+	high := d.baseline + (d.amax-d.baseline)*headroom
+	// U_F: the envelope fluctuation amplitude. Use the larger of the noise
+	// ripple and a fixed fraction of the swing so U_L stays meaningful at
+	// high SNR too.
+	uf := math.Max(2*d.noiseSigma, 0.25*(d.amax-d.baseline))
+	low := high - uf
+	// Keep U_L above the baseline ripple so the comparator can reset.
+	minLow := d.baseline + d.noiseSigma
+	if low < minLow {
+		low = minLow
+	}
+	if low > high {
+		low = high
+	}
+	d.comparator = analog.Comparator{High: high, Low: low}
+	d.peakBias = d.measureDecodeBias(rssDBm)
+
+	if d.cfg.Mode == ModeFull {
+		d.buildTemplates(rssDBm)
+	}
+	d.calibrated = true
+}
+
+// measureDecodeBias quantifies the systematic lag between a chirp's true
+// amplitude peak and the comparator's falling edge: the video low-pass
+// filter smears the post-peak collapse, so the edge trails the peak by a
+// fixed time. The offline calibration absorbs this into the position
+// mapping exactly as the prototype's per-distance table would; without the
+// correction the narrow decision bins of high coding rates (2^K positions
+// per symbol) are systematically missed.
+func (d *Demodulator) measureDecodeBias(rssDBm float64) float64 {
+	p := d.cfg.Params
+	// Mid-alphabet symbols keep both the peak and the post-peak collapse
+	// inside one window.
+	probe := []int{p.AlphabetSize() / 4, p.AlphabetSize() / 2}
+	var sum float64
+	var n int
+	for _, s := range probe {
+		m := p.SymbolValue(s)
+		if m == 0 {
+			continue
+		}
+		traj := p.FreqTrajectory(nil, m, d.fsSim)
+		env := d.RenderEnvelope(nil, traj, rssDBm, nil)
+		bits := d.comparator.Quantize(nil, env)
+		tail := -1
+		for i := 1; i < len(bits); i++ {
+			if bits[i-1] && !bits[i] {
+				tail = i - 1
+			}
+		}
+		if tail < 0 {
+			continue
+		}
+		observed := (float64(tail) + 0.5) / float64(len(bits))
+		diff := observed - p.PeakFraction(m)
+		// Wrap to (-0.5, 0.5].
+		if diff > 0.5 {
+			diff -= 1
+		} else if diff < -0.5 {
+			diff += 1
+		}
+		sum += diff
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// buildTemplates renders the noise-free correlator template for every
+// downlink symbol at the correlator rate.
+func (d *Demodulator) buildTemplates(rssDBm float64) {
+	p := d.cfg.Params
+	d.templates = make([][]float64, p.AlphabetSize())
+	for s := range d.templates {
+		traj := p.FreqTrajectory(nil, p.SymbolValue(s), d.fsSim)
+		d.templates[s] = d.RenderCorrEnvelope(nil, traj, rssDBm, nil)
+	}
+}
+
+// Calibrated reports whether Calibrate has run.
+func (d *Demodulator) Calibrated() bool { return d.calibrated }
+
+// Thresholds returns the calibrated comparator (U_H, U_L).
+func (d *Demodulator) Thresholds() analog.Comparator { return d.comparator }
+
+// ErrNotCalibrated is returned by demodulation entry points when Calibrate
+// has not been called.
+var ErrNotCalibrated = fmt.Errorf("core: demodulator not calibrated; call Calibrate first")
+
+// DemodulatePayload renders a payload-only frequency trajectory through the
+// front end and decodes nSymbols downlink symbols. The trajectory must
+// start exactly at the first payload symbol (synchronized reception; the
+// paper measures BER the same way after preamble lock).
+func (d *Demodulator) DemodulatePayload(trajHz []float64, rssDBm float64, nSymbols int, rng *rand.Rand) ([]int, error) {
+	if !d.calibrated {
+		return nil, ErrNotCalibrated
+	}
+	if d.cfg.Mode == ModeFull {
+		env := d.RenderCorrEnvelope(nil, trajHz, rssDBm, rng)
+		return d.decodeByCorrelation(env, nSymbols), nil
+	}
+	env := d.RenderEnvelope(nil, trajHz, rssDBm, rng)
+	return d.decodeByPeakTracking(env, nSymbols), nil
+}
+
+// symbolWindow returns the [lo, hi) sampler-rate indices of payload symbol
+// s, derived from the integer per-symbol sample count the trajectory
+// generators use so boundaries never drift.
+func (d *Demodulator) symbolWindow(s, decim, n int) (int, int) {
+	ratio := float64(d.spbSimInt) / float64(decim)
+	lo := int(math.Round(float64(s) * ratio))
+	hi := int(math.Round(float64(s+1) * ratio))
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// decodeByPeakTracking implements the Section 2.2 decoder: quantize the
+// envelope with the double-threshold comparator, then within each symbol
+// window locate the amplitude peak and map its position to a chirp value.
+//
+// The peak marker is the last *falling edge* of the comparator output (the
+// t_F of Figure 7e): when the chirp wraps, the envelope collapses from the
+// response top to the band bottom, forcing the high run to end. A window
+// that is still high at its final sample peaked exactly at the symbol
+// boundary (position 0 chirps). Using the falling edge rather than the raw
+// last-high sample matters because for early-peaking symbols the envelope
+// ramps back up toward the *next* symbol's peak and re-crosses U_H before
+// the window closes.
+func (d *Demodulator) decodeByPeakTracking(env []float64, nSymbols int) []int {
+	p := d.cfg.Params
+	d.scratchBit = d.comparator.Quantize(d.scratchBit, env)
+	bits := d.scratchBit
+	out := make([]int, nSymbols)
+
+	// Symbol boundaries are delicate: a chirp that peaks exactly at its
+	// window end (position ~0) produces its falling edge within a sample
+	// or two of the boundary — on either side of it, depending on window
+	// rounding — while a chirp that peaked early keeps ramping toward the
+	// next symbol's start, and if the next chirp begins at a lower
+	// frequency the discontinuity fakes a falling edge in the same
+	// boundary region. Resolve both cases in two passes: collect each
+	// window's own mid-window edges first, then treat boundary-region
+	// edges as "peak at the boundary" (position ~0) only for symbols that
+	// found no peak of their own.
+	startMargin := 2
+	endMargin := 2
+
+	type edgeInfo struct {
+		frac float64
+		ok   bool
+	}
+	own := make([]edgeInfo, nSymbols)
+	boundary := make([]bool, nSymbols)
+	highAtEnd := make([]bool, nSymbols)
+
+	for s := 0; s < nSymbols; s++ {
+		lo, hi := d.symbolWindow(s, d.cfg.Oversample, len(bits))
+		if lo >= hi {
+			continue
+		}
+		win := bits[lo:hi]
+		highAtEnd[s] = win[len(win)-1]
+		for i := 1; i < len(win); i++ {
+			if !win[i-1] || win[i] {
+				continue
+			}
+			edge := i - 1
+			switch {
+			case edge < startMargin:
+				// Just past the previous boundary: the previous symbol
+				// peaked at its window end.
+				if s > 0 {
+					boundary[s-1] = true
+				}
+			case edge >= len(win)-endMargin:
+				// Just before our own end boundary.
+				boundary[s] = true
+			default:
+				own[s] = edgeInfo{frac: (float64(edge) + 0.5) / float64(len(win)), ok: true}
+			}
+		}
+	}
+	for s := 0; s < nSymbols; s++ {
+		var frac float64
+		switch {
+		case own[s].ok:
+			frac = own[s].frac
+		case boundary[s] || highAtEnd[s]:
+			frac = 1 // peak rides the symbol boundary: position ~0
+		default:
+			// No peak found: erasure. Decode as symbol 0; the BER
+			// accounting charges it fully.
+			out[s] = 0
+			continue
+		}
+		out[s] = p.NearestSymbol(p.PositionFromPeak(frac - d.peakBias))
+	}
+	return out
+}
+
+// decodeByCorrelation implements Section 3.2: normalized cross-correlation
+// of each symbol window against the per-symbol templates.
+func (d *Demodulator) decodeByCorrelation(env []float64, nSymbols int) []int {
+	decim := d.cfg.Oversample / d.cfg.CorrOversample
+	out := make([]int, nSymbols)
+	for s := 0; s < nSymbols; s++ {
+		lo, hi := d.symbolWindow(s, decim, len(env))
+		if lo >= hi {
+			out[s] = 0
+			continue
+		}
+		win := env[lo:hi]
+		best, bestScore := 0, math.Inf(-1)
+		for sym, tmpl := range d.templates {
+			score := windowCorrelation(win, tmpl)
+			if score > bestScore {
+				best, bestScore = sym, score
+			}
+		}
+		out[s] = best
+	}
+	return out
+}
+
+// windowCorrelation computes the zero-mean cosine similarity between a
+// window and a template of (approximately) the same length.
+func windowCorrelation(win, tmpl []float64) float64 {
+	n := len(win)
+	if len(tmpl) < n {
+		n = len(tmpl)
+	}
+	if n == 0 {
+		return 0
+	}
+	var mw, mt float64
+	for i := 0; i < n; i++ {
+		mw += win[i]
+		mt += tmpl[i]
+	}
+	mw /= float64(n)
+	mt /= float64(n)
+	var dot, ew, et float64
+	for i := 0; i < n; i++ {
+		a := win[i] - mw
+		b := tmpl[i] - mt
+		dot += a * b
+		ew += a * a
+		et += b * b
+	}
+	if ew == 0 || et == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(ew*et)
+}
+
+// ProcessFrame runs the complete tag pipeline on a downlink frame arriving
+// at rssDBm: render the whole frame (preamble + sync + payload), detect the
+// preamble, skip 2.25 symbol times, and decode the payload. It returns the
+// decoded symbols and whether the preamble was found.
+func (d *Demodulator) ProcessFrame(frame *lora.Frame, rssDBm float64, rng *rand.Rand) ([]int, bool, error) {
+	if !d.calibrated {
+		return nil, false, ErrNotCalibrated
+	}
+	traj := frame.FreqTrajectory(nil, d.fsSim)
+	env := d.RenderEnvelope(nil, traj, rssDBm, rng)
+	start, ok := d.DetectPreamble(env)
+	if !ok {
+		return nil, false, nil
+	}
+	// DetectPreamble returns where the first preamble symbol begins; the
+	// payload follows the ten up-chirps and 2.25 sync symbol times
+	// (Section 2.2, Figure 8).
+	payloadAt := start + int(math.Round((float64(lora.PreambleUpchirps)+lora.SyncSymbols)*d.spbSamp))
+	if d.cfg.Mode == ModeFull {
+		envC := d.RenderCorrEnvelope(nil, traj, rssDBm, rng)
+		scale := d.cfg.CorrOversample
+		lo := payloadAt * scale
+		if lo >= len(envC) {
+			return nil, true, nil
+		}
+		return d.decodeByCorrelation(envC[lo:], len(frame.Payload)), true, nil
+	}
+	if payloadAt >= len(env) {
+		return nil, true, nil
+	}
+	return d.decodeByPeakTracking(env[payloadAt:], len(frame.Payload)), true, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"saiyan/internal/analog"
+	"saiyan/internal/dsp"
+)
+
+// Demodulator is a configured Saiyan tag receiver. Build with New, then
+// Calibrate for a link distance before demodulating (the prototype does the
+// same: Section 4.1 stores per-distance threshold tables on the tag).
+//
+// A Demodulator is not safe for concurrent use; clone one per goroutine.
+type Demodulator struct {
+	cfg     Config
+	fsSim   float64
+	fsSamp  float64
+	spbSim  float64 // samples per symbol at the simulation rate (fractional)
+	spbSamp float64 // samples per symbol at the sampler rate (fractional)
+	// spbSimInt is the integer per-symbol sample count the trajectory
+	// generators use; decode windows derive from it so symbol boundaries
+	// stay aligned over long frames instead of drifting by the rounding
+	// residue.
+	spbSimInt int
+
+	lpf  *dsp.FIR // post-detection video filter
+	bpf  *dsp.FIR // IF band-pass (cyclic-frequency shifting)
+	ifHz float64  // intermediate frequency (2x the clock, from cos^2)
+
+	sampler analog.Sampler
+
+	// Calibration state.
+	calibrated bool
+	comparator analog.Comparator
+	baseline   float64 // envelope level with no signal
+	noiseSigma float64 // envelope noise std dev
+	amax       float64 // envelope peak with signal at the calibrated RSS
+	peakBias   float64 // systematic falling-edge lag, in symbol fractions
+	biasCached bool
+	cachedBias float64
+	templates  [][]float64
+	detTmpl    []float64 // one-symbol detection template (lazy)
+
+	// Scratch buffers to keep the per-frame hot path allocation-free.
+	scratchIQ  []complex128
+	scratchEnv []float64
+	scratchBuf []float64
+	scratchBit []bool
+}
+
+// New builds a demodulator from cfg, applying defaults and validating.
+func New(cfg Config) (*Demodulator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := &Demodulator{cfg: cfg}
+	d.fsSamp = cfg.SamplerRateHz()
+	d.fsSim = cfg.SimRateHz()
+	d.spbSamp = cfg.Params.SymbolDuration() * d.fsSamp
+	d.spbSim = cfg.Params.SymbolDuration() * d.fsSim
+	d.spbSimInt = cfg.Params.SamplesPerSymbol(d.fsSim)
+	d.sampler = analog.Sampler{Oversample: cfg.Oversample}
+
+	cutoff := cfg.VideoCutoffFrac * d.fsSamp
+	d.lpf, err = dsp.NewLowPass(cutoff, d.fsSim, 63, dsp.Hamming)
+	if err != nil {
+		return nil, fmt.Errorf("core: video filter: %w", err)
+	}
+	if cfg.Mode != ModeVanilla {
+		// The MCU clock runs at fsSim/8; squaring the mixed signal lands
+		// the IF at twice the clock, fsSim/4 (see mixer.go).
+		d.ifHz = d.fsSim / 4
+		half := cutoff
+		d.bpf, err = dsp.NewBandPass(d.ifHz-half, d.ifHz+half, d.fsSim, 63, dsp.Hamming)
+		if err != nil {
+			return nil, fmt.Errorf("core: IF filter: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (d *Demodulator) Config() Config { return d.cfg }
+
+// SamplerRateHz returns the comparator sampling rate.
+func (d *Demodulator) SamplerRateHz() float64 { return d.fsSamp }
+
+// SimRateHz returns the internal analog simulation rate.
+func (d *Demodulator) SimRateHz() float64 { return d.fsSim }
+
+// snrAmplitude converts an RSS into the normalized signal amplitude at the
+// envelope-detector input: unit-power front-end noise, amplitude
+// sqrt(SNR). The noise reference is thermal density plus the LNA noise
+// figure over the simulation bandwidth (the front end is modeled as
+// band-limited to the simulation rate).
+func (d *Demodulator) snrAmplitude(rssDBm float64) float64 {
+	if math.IsInf(rssDBm, -1) {
+		return 0
+	}
+	noiseDBm := -174.0 + d.cfg.LNA.NoiseFigureDB + 10*math.Log10(d.fsSim)
+	return math.Sqrt(dsp.FromDB(rssDBm - noiseDBm))
+}
+
+// RenderEnvelope pushes an instantaneous-frequency trajectory (Hz offsets
+// above the LoRa carrier, at the simulation rate) through the configured
+// analog chain at the given RSS and returns the baseband envelope at the
+// sampler rate. Pass rng=nil for a noise-free reference render (used for
+// calibration and correlation templates).
+func (d *Demodulator) RenderEnvelope(dst []float64, trajHz []float64, rssDBm float64, rng *rand.Rand) []float64 {
+	n := len(trajHz)
+	amp := d.snrAmplitude(rssDBm)
+	carrier := d.cfg.Params.CarrierHz
+
+	if cap(d.scratchIQ) < n {
+		d.scratchIQ = make([]complex128, n)
+	}
+	x := d.scratchIQ[:n]
+	saw := d.cfg.SAW
+	for i, f := range trajHz {
+		x[i] = complex(amp*saw.Gain(carrier+f), 0)
+	}
+	if rng != nil {
+		dsp.AddComplexNoise(x, 1, rng)
+	}
+
+	env := d.cfg.Envelope
+	if cap(d.scratchEnv) < n {
+		d.scratchEnv = make([]float64, n)
+	}
+	y := d.scratchEnv[:n]
+
+	switch d.cfg.Mode {
+	case ModeVanilla:
+		y = env.Detect(y, x)
+		if rng != nil {
+			env.AddBasebandImpairments(y, d.fsSim, rng)
+		}
+	default:
+		// Cyclic-frequency shifting (Figure 9): mix up, square, band-pass
+		// at the IF, amplify, mix down, low-pass.
+		clock := analog.Oscillator{FreqHz: d.ifHz / 2}
+		clock.MixComplex(x, d.fsSim, 0)
+		y = env.Detect(y, x)
+		if rng != nil {
+			env.AddBasebandImpairments(y, d.fsSim, rng)
+		}
+		d.scratchBuf = d.bpf.Apply(d.scratchBuf, y)
+		y, d.scratchBuf = d.scratchBuf, y[:0]
+		d.cfg.IFAmp.Apply(y)
+		out := analog.Oscillator{FreqHz: d.ifHz}
+		out.MixReal(y, d.fsSim, d.cfg.ClockPhaseError)
+		// Makeup gain: cos^2 halves the signal twice (up-mix and
+		// down-mix); restore the vanilla scale so thresholds compare.
+		g := 4 / math.Pow(10, d.cfg.IFAmp.GainDB/20)
+		for i := range y {
+			y[i] *= g
+		}
+	}
+
+	d.scratchBuf = d.lpf.Apply(d.scratchBuf, y)
+	y, d.scratchBuf = d.scratchBuf, y
+
+	return d.sampler.SampleFloats(dst, y)
+}
+
+// RenderCorrEnvelope is RenderEnvelope at the correlator's higher sampling
+// rate (ModeFull decodes from this stream).
+func (d *Demodulator) RenderCorrEnvelope(dst []float64, trajHz []float64, rssDBm float64, rng *rand.Rand) []float64 {
+	// Render through the same chain but decimate less aggressively.
+	saved := d.sampler
+	d.sampler = analog.Sampler{Oversample: d.cfg.Oversample / d.cfg.CorrOversample}
+	out := d.RenderEnvelope(dst, trajHz, rssDBm, rng)
+	d.sampler = saved
+	return out
+}

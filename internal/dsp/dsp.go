@@ -1,0 +1,38 @@
+// Package dsp provides the signal-processing substrate used throughout the
+// Saiyan simulator: FFTs, window functions, FIR filter design, correlation,
+// noise synthesis, and small statistics helpers.
+//
+// Everything operates on plain []float64 / []complex128 slices so callers can
+// preallocate buffers and keep hot demodulation loops allocation-free, in the
+// spirit of gopacket's DecodingLayerParser. Functions that can reuse an output
+// buffer accept a dst slice and return it (possibly reallocated), following
+// the append contract.
+package dsp
+
+import "math"
+
+// NextPow2 returns the smallest power of two >= n. It returns 1 for n <= 1.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Sinc computes the normalized sinc function sin(pi x)/(pi x).
+func Sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}

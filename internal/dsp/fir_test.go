@@ -1,0 +1,180 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// toneResponse measures the output/input amplitude ratio of filter f for a
+// tone at freqHz.
+func toneResponse(t *testing.T, f *FIR, freqHz, fs float64) float64 {
+	t.Helper()
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freqHz * float64(i) / fs)
+	}
+	y := f.Apply(nil, x)
+	// Skip the edges where the convolution is partial.
+	m := len(f.Taps())
+	return RMS(y[m:n-m]) / RMS(x[m:n-m])
+}
+
+func TestLowPassPassesAndStops(t *testing.T) {
+	const fs = 100000.0
+	f, err := NewLowPass(5000, fs, 101, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := toneResponse(t, f, 1000, fs); math.Abs(g-1) > 0.05 {
+		t.Errorf("passband gain at 1 kHz = %g, want ~1", g)
+	}
+	if g := toneResponse(t, f, 25000, fs); g > 0.01 {
+		t.Errorf("stopband gain at 25 kHz = %g, want < 0.01", g)
+	}
+}
+
+func TestLowPassDCGain(t *testing.T) {
+	f, err := NewLowPass(1000, 48000, 63, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, tap := range f.Taps() {
+		sum += tap
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("DC gain = %g, want 1", sum)
+	}
+}
+
+func TestLowPassRejectsBadParams(t *testing.T) {
+	if _, err := NewLowPass(5000, 100000, 100, Hamming); err == nil {
+		t.Error("even tap count accepted")
+	}
+	if _, err := NewLowPass(0, 100000, 101, Hamming); err == nil {
+		t.Error("zero cutoff accepted")
+	}
+	if _, err := NewLowPass(60000, 100000, 101, Hamming); err == nil {
+		t.Error("cutoff above Nyquist accepted")
+	}
+}
+
+func TestBandPassSelectsBand(t *testing.T) {
+	const fs = 1e6
+	f, err := NewBandPass(90e3, 110e3, fs, 129, Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := toneResponse(t, f, 100e3, fs); math.Abs(g-1) > 0.1 {
+		t.Errorf("center gain = %g, want ~1", g)
+	}
+	if g := toneResponse(t, f, 10e3, fs); g > 0.05 {
+		t.Errorf("low-side rejection = %g, want < 0.05", g)
+	}
+	if g := toneResponse(t, f, 300e3, fs); g > 0.05 {
+		t.Errorf("high-side rejection = %g, want < 0.05", g)
+	}
+}
+
+func TestBandPassRejectsBadParams(t *testing.T) {
+	if _, err := NewBandPass(0, 1000, 48000, 65, Hann); err == nil {
+		t.Error("zero low edge accepted")
+	}
+	if _, err := NewBandPass(2000, 1000, 48000, 65, Hann); err == nil {
+		t.Error("inverted band accepted")
+	}
+	if _, err := NewBandPass(1000, 30000, 48000, 65, Hann); err == nil {
+		t.Error("band above Nyquist accepted")
+	}
+}
+
+func TestApplyPreservesAlignment(t *testing.T) {
+	// An impulse through a symmetric filter should stay centered.
+	f, err := NewLowPass(1000, 8000, 31, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 101)
+	x[50] = 1
+	y := f.Apply(nil, x)
+	if len(y) != len(x) {
+		t.Fatalf("len(y) = %d, want %d", len(y), len(x))
+	}
+	i, _ := Argmax(y)
+	if i != 50 {
+		t.Errorf("impulse response peak at %d, want 50 (group delay not compensated)", i)
+	}
+}
+
+func TestApplyComplexMatchesReal(t *testing.T) {
+	f, err := NewLowPass(2000, 16000, 21, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(3, 4)
+	x := make([]float64, 64)
+	xc := make([]complex128, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		xc[i] = complex(x[i], 0)
+	}
+	yr := f.Apply(nil, x)
+	yc := f.ApplyComplex(nil, xc)
+	for i := range yr {
+		if math.Abs(yr[i]-real(yc[i])) > 1e-12 || math.Abs(imag(yc[i])) > 1e-12 {
+			t.Fatalf("mismatch at %d: %g vs %v", i, yr[i], yc[i])
+		}
+	}
+}
+
+func TestMovingAverageConstant(t *testing.T) {
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 3.5
+	}
+	y := MovingAverage(nil, x, 7)
+	for i, v := range y {
+		if math.Abs(v-3.5) > 1e-12 {
+			t.Fatalf("y[%d] = %g, want 3.5", i, v)
+		}
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	rng := NewRand(5, 6)
+	x := make([]float64, 2000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := MovingAverage(nil, x, 21)
+	if vy, vx := Variance(y), Variance(x); vy > vx/5 {
+		t.Errorf("moving average variance %g not much below input %g", vy, vx)
+	}
+}
+
+func TestMovingAverageDegenerateWidths(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := MovingAverage(nil, x, 0) // clamps to 1: identity
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("width-1 average changed data: %v", y)
+		}
+	}
+	y = MovingAverage(nil, x, 100) // clamps to len(x)
+	if len(y) != 3 {
+		t.Fatalf("len = %d, want 3", len(y))
+	}
+}
+
+func TestNewFIRCopiesTaps(t *testing.T) {
+	taps := []float64{1, 2, 3}
+	f := NewFIR(taps)
+	taps[0] = 99
+	if f.Taps()[0] != 1 {
+		t.Error("NewFIR aliased caller's slice")
+	}
+	if f.Len() != 3 {
+		t.Errorf("Len = %d, want 3", f.Len())
+	}
+}

@@ -1,0 +1,25 @@
+package dsp
+
+import "math"
+
+// Goertzel computes the power of the single DFT bin nearest targetHz for a
+// real signal sampled at sampleRateHz. It matches |FFT(x)[k]|^2 for
+// k = round(targetHz/sampleRateHz*N) while touching each sample once, which
+// is how a low-power tag would measure energy on one IF bin.
+func Goertzel(x []float64, targetHz, sampleRateHz float64) float64 {
+	n := len(x)
+	if n == 0 || sampleRateHz <= 0 {
+		return 0
+	}
+	k := math.Round(targetHz / sampleRateHz * float64(n))
+	w := 2 * math.Pi * k / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Power of the bin.
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}

@@ -1,0 +1,52 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoertzelMatchesFFTBin(t *testing.T) {
+	const n = 256
+	const fs = 1000.0
+	rng := NewRand(2, 3)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	for _, k := range []int{3, 17, 100} {
+		want := real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+		got := Goertzel(x, float64(k)*fs/n, fs)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("bin %d: goertzel %g, fft %g", k, got, want)
+		}
+	}
+}
+
+func TestGoertzelTone(t *testing.T) {
+	const n = 512
+	const fs = 8000.0
+	const f0 = 1000.0
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f0 * float64(i) / fs)
+	}
+	on := Goertzel(x, f0, fs)
+	off := Goertzel(x, 3000, fs)
+	if on < 1000*off {
+		t.Errorf("tone power %g not dominating off-bin %g", on, off)
+	}
+}
+
+func TestGoertzelDegenerate(t *testing.T) {
+	if Goertzel(nil, 100, 1000) != 0 {
+		t.Error("empty input should be 0")
+	}
+	if Goertzel([]float64{1, 2}, 100, 0) != 0 {
+		t.Error("zero sample rate should be 0")
+	}
+}

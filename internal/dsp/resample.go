@@ -1,0 +1,60 @@
+package dsp
+
+// Decimate keeps every factor-th sample of x starting at offset, writing
+// into dst and returning it. Callers that need anti-aliasing should low-pass
+// filter first; the demodulation chain always does (the LPF stage precedes
+// the voltage sampler).
+func Decimate(dst, x []float64, factor, offset int) []float64 {
+	if factor < 1 {
+		factor = 1
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	n := 0
+	if offset < len(x) {
+		n = (len(x) - offset + factor - 1) / factor
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = x[offset+i*factor]
+	}
+	return dst
+}
+
+// LinearResample resamples x to exactly n points using linear
+// interpolation over the original index range. It returns a new slice when
+// dst is too small.
+func LinearResample(dst, x []float64, n int) []float64 {
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	if n == 0 || len(x) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	if len(x) == 1 {
+		for i := range dst {
+			dst[i] = x[0]
+		}
+		return dst
+	}
+	scale := float64(len(x)-1) / float64(max(n-1, 1))
+	for i := 0; i < n; i++ {
+		pos := float64(i) * scale
+		lo := int(pos)
+		if lo >= len(x)-1 {
+			dst[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		dst[i] = x[lo]*(1-frac) + x[lo+1]*frac
+	}
+	return dst
+}

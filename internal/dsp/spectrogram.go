@@ -1,0 +1,36 @@
+package dsp
+
+import "fmt"
+
+// Spectrogram computes the short-time power spectrum of a real series:
+// windowed frames of frameLen samples, hopped by hop, each producing
+// frameLen/2+1 one-sided power bins. It backs the Figure 10-style spectrum
+// views in the waveform tooling.
+func Spectrogram(x []float64, frameLen, hop int, w Window) ([][]float64, error) {
+	if !IsPow2(frameLen) {
+		return nil, fmt.Errorf("dsp: spectrogram frame length %d must be a power of two", frameLen)
+	}
+	if hop < 1 {
+		return nil, fmt.Errorf("dsp: spectrogram hop %d < 1", hop)
+	}
+	if len(x) < frameLen {
+		return nil, fmt.Errorf("dsp: input (%d) shorter than frame (%d)", len(x), frameLen)
+	}
+	win := w.Make(frameLen)
+	var frames [][]float64
+	buf := make([]complex128, frameLen)
+	for at := 0; at+frameLen <= len(x); at += hop {
+		for i := 0; i < frameLen; i++ {
+			buf[i] = complex(x[at+i]*win[i], 0)
+		}
+		FFT(buf)
+		bins := make([]float64, frameLen/2+1)
+		inv := 1 / float64(frameLen)
+		for k := range bins {
+			re, im := real(buf[k]), imag(buf[k])
+			bins[k] = (re*re + im*im) * inv
+		}
+		frames = append(frames, bins)
+	}
+	return frames, nil
+}

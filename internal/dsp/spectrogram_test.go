@@ -1,0 +1,47 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpectrogramTracksChirp(t *testing.T) {
+	// A slow sweep should move the per-frame peak bin upward over time.
+	const fs = 8000.0
+	n := 8192
+	x := make([]float64, n)
+	phase := 0.0
+	for i := range x {
+		f := 200 + 3000*float64(i)/float64(n)
+		phase += 2 * math.Pi * f / fs
+		x[i] = math.Sin(phase)
+	}
+	frames, err := Spectrogram(x, 256, 128, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 10 {
+		t.Fatalf("only %d frames", len(frames))
+	}
+	first, _ := Argmax(frames[0])
+	last, _ := Argmax(frames[len(frames)-1])
+	if last <= first {
+		t.Errorf("peak bin did not rise with the sweep: %d -> %d", first, last)
+	}
+	if len(frames[0]) != 129 {
+		t.Errorf("one-sided bins = %d, want 129", len(frames[0]))
+	}
+}
+
+func TestSpectrogramValidation(t *testing.T) {
+	x := make([]float64, 100)
+	if _, err := Spectrogram(x, 100, 10, Hann); err == nil {
+		t.Error("non-pow2 frame accepted")
+	}
+	if _, err := Spectrogram(x, 64, 0, Hann); err == nil {
+		t.Error("zero hop accepted")
+	}
+	if _, err := Spectrogram(x[:10], 64, 16, Hann); err == nil {
+		t.Error("short input accepted")
+	}
+}

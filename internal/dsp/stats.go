@@ -1,0 +1,125 @@
+package dsp
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, v := range x {
+		acc += v
+	}
+	return acc / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for fewer than two
+// samples.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	acc := 0.0
+	for _, v := range x {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	return math.Sqrt(Variance(x))
+}
+
+// RMS returns the root mean square of x.
+func RMS(x []float64) float64 {
+	return math.Sqrt(SignalPower(x))
+}
+
+// Max returns the maximum of x, or -Inf for an empty slice.
+func Max(x []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of x, or +Inf for an empty slice.
+func Min(x []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range x {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of x using linear
+// interpolation between order statistics. It returns NaN for an empty slice.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(x))
+	copy(sorted, x)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 50th percentile of x.
+func Median(x []float64) float64 {
+	return Percentile(x, 50)
+}
+
+// CDFPoint holds one point of an empirical cumulative distribution.
+type CDFPoint struct {
+	Value float64 // sample value
+	P     float64 // cumulative probability in (0, 1]
+}
+
+// EmpiricalCDF returns the empirical CDF of x as sorted (value, probability)
+// points.
+func EmpiricalCDF(x []float64) []CDFPoint {
+	sorted := make([]float64, len(x))
+	copy(sorted, x)
+	sort.Float64s(sorted)
+	pts := make([]CDFPoint, len(sorted))
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		pts[i] = CDFPoint{Value: v, P: float64(i+1) / n}
+	}
+	return pts
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package dsp
+
+import "math"
+
+// Window identifies a tapering window used in filter design and spectral
+// analysis.
+type Window int
+
+const (
+	// Rectangular is the identity window.
+	Rectangular Window = iota
+	// Hann is the raised-cosine window.
+	Hann
+	// Hamming is the Hamming window (0.54 - 0.46 cos).
+	Hamming
+	// Blackman is the three-term Blackman window.
+	Blackman
+)
+
+// String returns the conventional name of the window.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	}
+	return "unknown"
+}
+
+// Coefficients fills dst with the N window coefficients and returns it,
+// where N = len(dst). For N == 1 the single coefficient is 1.
+func (w Window) Coefficients(dst []float64) []float64 {
+	n := len(dst)
+	if n == 0 {
+		return dst
+	}
+	if n == 1 {
+		dst[0] = 1
+		return dst
+	}
+	den := float64(n - 1)
+	for i := range dst {
+		x := float64(i) / den
+		switch w {
+		case Rectangular:
+			dst[i] = 1
+		case Hann:
+			dst[i] = 0.5 - 0.5*math.Cos(2*math.Pi*x)
+		case Hamming:
+			dst[i] = 0.54 - 0.46*math.Cos(2*math.Pi*x)
+		case Blackman:
+			dst[i] = 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+		default:
+			dst[i] = 1
+		}
+	}
+	return dst
+}
+
+// Make returns a freshly allocated window of length n.
+func (w Window) Make(n int) []float64 {
+	return w.Coefficients(make([]float64, n))
+}

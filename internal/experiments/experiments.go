@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each experiment is a named runner producing a
+// Table whose rows mirror what the paper plots; the bench harness and the
+// saiyan CLI both drive this registry.
+//
+// Runners accept an Options value: Quick mode trims Monte-Carlo trial
+// counts so the full registry stays runnable in CI, while the default
+// counts match the fidelity used for EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes experiment fidelity.
+type Options struct {
+	// Quick reduces trial counts by roughly an order of magnitude.
+	Quick bool
+	// Seed drives every PRNG in the experiment.
+	Seed uint64
+}
+
+// DefaultOptions returns full-fidelity settings with a fixed seed.
+func DefaultOptions() Options { return Options{Seed: 20220404} }
+
+// scale returns full or quick depending on the fidelity setting.
+func (o Options) scale(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Table is the output of one experiment.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-text note printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner produces a table.
+type Runner func(Options) (*Table, error)
+
+// Experiment couples a runner with its paper context.
+type Experiment struct {
+	ID    string
+	Title string
+	// PaperResult summarizes what the paper reports, for side-by-side
+	// comparison in EXPERIMENTS.md.
+	PaperResult string
+	Run         Runner
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (try List)", id)
+	}
+	return e, nil
+}
+
+// List returns all experiments sorted by id.
+func List() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// fmtF formats a float compactly.
+func fmtF(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// fmtE formats a rate in scientific-ish notation the way the paper's log
+// axes read.
+func fmtE(v float64) string {
+	if v == 0 {
+		return "<1e-4"
+	}
+	return fmt.Sprintf("%.2e", v)
+}

@@ -1,0 +1,147 @@
+package lora
+
+import (
+	"fmt"
+	"math"
+
+	"saiyan/internal/dsp"
+)
+
+// Channelizer splits one wideband IQ capture into several LoRa channels,
+// reproducing the paper's receiver deployment: "the LoRa receiver is
+// implemented on a USRP N210; we set the sampling rate to 10 MHz, thereby
+// allowing the receiver to monitor six LoRa channels simultaneously"
+// (Section 4.2). Each channel is mixed to baseband, low-pass filtered, and
+// decimated to the chirp bandwidth so a standard Receiver can demodulate
+// it.
+type Channelizer struct {
+	wideRateHz float64
+	chanBWHz   float64
+	centersHz  []float64 // channel centers relative to the capture center
+	decim      int
+	lpf        *dsp.FIR
+}
+
+// NewChannelizer builds a channelizer for a capture at wideRateHz covering
+// channels of chanBWHz at the given relative center offsets. The wide rate
+// must be an integer multiple of the channel bandwidth, and every channel
+// must fit inside the captured band.
+func NewChannelizer(wideRateHz, chanBWHz float64, centersHz []float64) (*Channelizer, error) {
+	if wideRateHz <= 0 || chanBWHz <= 0 {
+		return nil, fmt.Errorf("lora: channelizer rates must be positive")
+	}
+	ratio := wideRateHz / chanBWHz
+	decim := int(math.Round(ratio))
+	if math.Abs(ratio-float64(decim)) > 1e-9 || decim < 1 {
+		return nil, fmt.Errorf("lora: wide rate %g not an integer multiple of channel bandwidth %g", wideRateHz, chanBWHz)
+	}
+	if len(centersHz) == 0 {
+		return nil, fmt.Errorf("lora: channelizer needs at least one channel")
+	}
+	for _, c := range centersHz {
+		if math.Abs(c)+chanBWHz/2 > wideRateHz/2 {
+			return nil, fmt.Errorf("lora: channel at %+g Hz falls outside the +-%g Hz capture", c, wideRateHz/2)
+		}
+	}
+	lpf, err := dsp.NewLowPass(chanBWHz/2*0.9, wideRateHz, 127, dsp.Hamming)
+	if err != nil {
+		return nil, fmt.Errorf("lora: channel filter: %w", err)
+	}
+	cs := make([]float64, len(centersHz))
+	copy(cs, centersHz)
+	return &Channelizer{
+		wideRateHz: wideRateHz,
+		chanBWHz:   chanBWHz,
+		centersHz:  cs,
+		decim:      decim,
+		lpf:        lpf,
+	}, nil
+}
+
+// Channels returns the number of configured channels.
+func (c *Channelizer) Channels() int { return len(c.centersHz) }
+
+// ChannelRateHz returns the per-channel output sampling rate (the channel
+// bandwidth).
+func (c *Channelizer) ChannelRateHz() float64 { return c.chanBWHz }
+
+// Extract mixes channel ch to baseband, filters, and decimates, returning
+// the channel's IQ stream at the chirp bandwidth.
+func (c *Channelizer) Extract(dst []complex128, wide []complex128, ch int) ([]complex128, error) {
+	if ch < 0 || ch >= len(c.centersHz) {
+		return nil, fmt.Errorf("lora: channel %d outside [0, %d)", ch, len(c.centersHz))
+	}
+	center := c.centersHz[ch]
+	mixed := make([]complex128, len(wide))
+	w := -2 * math.Pi * center / c.wideRateHz
+	for i, v := range wide {
+		s, co := math.Sincos(w * float64(i))
+		mixed[i] = v * complex(co, s)
+	}
+	filtered := c.lpf.ApplyComplex(nil, mixed)
+	n := (len(filtered) + c.decim - 1) / c.decim
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:0]
+	for i := 0; i < len(filtered); i += c.decim {
+		dst = append(dst, filtered[i])
+	}
+	return dst, nil
+}
+
+// ExtractAll channelizes every configured channel.
+func (c *Channelizer) ExtractAll(wide []complex128) ([][]complex128, error) {
+	out := make([][]complex128, len(c.centersHz))
+	for ch := range c.centersHz {
+		s, err := c.Extract(nil, wide, ch)
+		if err != nil {
+			return nil, err
+		}
+		out[ch] = s
+	}
+	return out, nil
+}
+
+// Upconvert places a baseband channel signal (at the channel bandwidth)
+// onto the wide capture at the channel's center offset, adding into wide in
+// place. It is the transmit-side dual of Extract, used to compose
+// multi-channel test captures: the signal is zero-stuffed to the wide rate,
+// interpolated by the channel filter (suppressing the upsampling images
+// that would otherwise leak into neighboring channels), and mixed up.
+func (c *Channelizer) Upconvert(wide []complex128, sig []complex128, ch int) error {
+	if ch < 0 || ch >= len(c.centersHz) {
+		return fmt.Errorf("lora: channel %d outside [0, %d)", ch, len(c.centersHz))
+	}
+	stuffed := make([]complex128, len(wide))
+	for i := range sig {
+		at := i * c.decim
+		if at >= len(stuffed) {
+			break
+		}
+		// Compensate the interpolation filter's 1/decim energy spread.
+		stuffed[at] = sig[i] * complex(float64(c.decim), 0)
+	}
+	interp := c.lpf.ApplyComplex(nil, stuffed)
+	center := c.centersHz[ch]
+	w := 2 * math.Pi * center / c.wideRateHz
+	for i := range wide {
+		s, co := math.Sincos(w * float64(i))
+		wide[i] += interp[i] * complex(co, s)
+	}
+	return nil
+}
+
+// PaperChannelizer returns the Section 4.2 configuration: a 10 MHz capture
+// monitoring six 500 kHz LoRa channels on a 1.5 MHz grid.
+func PaperChannelizer() *Channelizer {
+	centers := make([]float64, 6)
+	for i := range centers {
+		centers[i] = (float64(i) - 2.5) * 1.5e6
+	}
+	c, err := NewChannelizer(10e6, Bandwidth500k, centers)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return c
+}

@@ -1,0 +1,122 @@
+package lora
+
+import (
+	"testing"
+
+	"saiyan/internal/dsp"
+)
+
+func TestChannelizerValidation(t *testing.T) {
+	if _, err := NewChannelizer(0, 500e3, []float64{0}); err == nil {
+		t.Error("zero wide rate accepted")
+	}
+	if _, err := NewChannelizer(10e6, 499e3, []float64{0}); err == nil {
+		t.Error("non-integer decimation accepted")
+	}
+	if _, err := NewChannelizer(10e6, 500e3, nil); err == nil {
+		t.Error("empty channel list accepted")
+	}
+	if _, err := NewChannelizer(10e6, 500e3, []float64{5.2e6}); err == nil {
+		t.Error("out-of-band channel accepted")
+	}
+	c := PaperChannelizer()
+	if c.Channels() != 6 {
+		t.Errorf("paper channelizer has %d channels, want 6", c.Channels())
+	}
+	if c.ChannelRateHz() != Bandwidth500k {
+		t.Errorf("channel rate = %g, want 500 kHz", c.ChannelRateHz())
+	}
+	if _, err := c.Extract(nil, make([]complex128, 100), 9); err == nil {
+		t.Error("bad channel index accepted")
+	}
+	if err := c.Upconvert(make([]complex128, 10), nil, -1); err == nil {
+		t.Error("bad upconvert index accepted")
+	}
+}
+
+func TestChannelizerTwoSimultaneousFrames(t *testing.T) {
+	// The Section 4.2 scenario: one 10 MHz capture carrying LoRa frames on
+	// two different channels at once; the receiver demodulates both.
+	c := PaperChannelizer()
+	p := Params{SF: 7, BandwidthHz: Bandwidth500k, K: 2, CarrierHz: DefaultCarrierHz}
+	payloadA := []int{1, 3, 0, 2, 1, 1}
+	payloadB := []int{2, 0, 3, 3, 0, 1}
+	frameA, err := NewFrame(p, payloadA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameB, err := NewFrame(p, payloadB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigA := frameA.IQ(nil, c.ChannelRateHz())
+	sigB := frameB.IQ(nil, c.ChannelRateHz())
+	wide := make([]complex128, len(sigA)*20)
+	if err := c.Upconvert(wide, sigA, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upconvert(wide, sigB, 4); err != nil {
+		t.Fatal(err)
+	}
+	rng := dsp.NewRand(3, 14)
+	dsp.AddComplexNoise(wide, 0.001, rng)
+
+	rx, err := NewReceiver(p, c.ChannelRateHz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(ch int, want []int) {
+		t.Helper()
+		iq, err := c.Extract(nil, wide, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := frameA.PayloadOffsetSamples(c.ChannelRateHz())
+		got := rx.DemodFrame(iq, off, len(want))
+		errs := 0
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				errs++
+			}
+		}
+		if errs > 1 {
+			t.Errorf("channel %d: decoded %v, want %v", ch, got, want)
+		}
+	}
+	check(1, payloadA)
+	check(4, payloadB)
+
+	// A quiet channel must not produce a preamble.
+	iq, err := c.Extract(nil, wide, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := rx.DetectPreamble(iq, 5); found {
+		t.Error("phantom preamble on a quiet channel")
+	}
+	// Busy channels do.
+	iq, err = c.Extract(nil, wide, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := rx.DetectPreamble(iq, 5); !found {
+		t.Error("preamble missed on the busy channel")
+	}
+}
+
+func TestChannelizerExtractAll(t *testing.T) {
+	c := PaperChannelizer()
+	wide := make([]complex128, 2000)
+	all, err := c.ExtractAll(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("extracted %d channels, want 6", len(all))
+	}
+	for ch, s := range all {
+		if len(s) != 100 {
+			t.Errorf("channel %d: %d samples, want 100 (decimate by 20)", ch, len(s))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package lora
+
+import "math"
+
+// FreqTrajectory writes the instantaneous frequency offset (Hz above the
+// carrier, in [0, BW)) of the chirp for full-alphabet position m, sampled at
+// sampleRate over one symbol duration, into dst and returns it. This is the
+// representation the analog front-end model consumes: the SAW filter maps
+// instantaneous frequency to amplitude sample by sample.
+//
+// A LoRa up-chirp with initial position m starts at frequency offset
+// f0 = m/2^SF * BW, sweeps upward at rate BW/T, and wraps to 0 when it
+// reaches BW (paper Eq. (1) and Figure 3a).
+func (p Params) FreqTrajectory(dst []float64, m int, sampleRate float64) []float64 {
+	n := p.SamplesPerSymbol(sampleRate)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	bw := p.BandwidthHz
+	f0 := float64(m) / float64(p.ChirpCount()) * bw
+	rate := p.ChirpRate()
+	dt := 1 / sampleRate
+	for i := 0; i < n; i++ {
+		f := f0 + rate*float64(i)*dt
+		if f >= bw {
+			f -= bw
+		}
+		dst[i] = f
+	}
+	return dst
+}
+
+// SamplesPerSymbol returns the number of samples one symbol occupies at the
+// given sampling rate, rounding to the nearest integer.
+func (p Params) SamplesPerSymbol(sampleRate float64) int {
+	n := int(math.Round(p.SymbolDuration() * sampleRate))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PeakFraction returns where within the symbol window (as a fraction of the
+// symbol duration in [0,1)) the chirp for full-alphabet position m reaches
+// the top of the band — i.e. where the SAW-transformed amplitude peaks.
+// Position 0 peaks at the very end of the symbol.
+func (p Params) PeakFraction(m int) float64 {
+	frac := 1 - float64(m)/float64(p.ChirpCount())
+	if frac >= 1 {
+		frac -= 1
+	}
+	return frac
+}
+
+// PositionFromPeak is the inverse of PeakFraction: it converts an observed
+// peak location (fraction of the symbol window) back to a fractional
+// full-alphabet position.
+func (p Params) PositionFromPeak(frac float64) float64 {
+	m := (1 - frac) * float64(p.ChirpCount())
+	n := float64(p.ChirpCount())
+	m = math.Mod(m, n)
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// IQ synthesizes the complex-baseband waveform of the chirp at
+// full-alphabet position m, sampled at sampleRate, writing into dst. The
+// baseband is referenced to the center of the sweep so the signal occupies
+// [-BW/2, BW/2). This is what a USRP receiver sees after down-conversion.
+func (p Params) IQ(dst []complex128, m int, sampleRate float64) []complex128 {
+	n := p.SamplesPerSymbol(sampleRate)
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
+	bw := p.BandwidthHz
+	f0 := float64(m)/float64(p.ChirpCount())*bw - bw/2
+	rate := p.ChirpRate()
+	dt := 1 / sampleRate
+	phase := 0.0
+	for i := 0; i < n; i++ {
+		f := f0 + rate*float64(i)*dt
+		if f >= bw/2 {
+			f -= bw
+		}
+		dst[i] = complex(math.Cos(phase), math.Sin(phase))
+		phase += 2 * math.Pi * f * dt
+		if phase > math.Pi {
+			phase -= 2 * math.Pi
+		} else if phase < -math.Pi {
+			phase += 2 * math.Pi
+		}
+	}
+	return dst
+}
+
+// Downchirp synthesizes the conjugate base chirp used for dechirping.
+func (p Params) Downchirp(dst []complex128, sampleRate float64) []complex128 {
+	dst = p.IQ(dst, 0, sampleRate)
+	for i, v := range dst {
+		dst[i] = complex(real(v), -imag(v))
+	}
+	return dst
+}

@@ -1,0 +1,50 @@
+package lora
+
+// Gray coding for downlink symbols. Saiyan's decoder errs almost always to
+// an *adjacent* peak position (the envelope peak moves by a sample), so
+// mapping adjacent positions to codewords that differ in a single bit cuts
+// the bit error rate roughly by K/1 on symbol errors — the same reason
+// commercial LoRa applies Gray mapping before its Hamming code.
+
+// GrayEncode maps a binary value to its reflected Gray code.
+func GrayEncode(v int) int {
+	return v ^ (v >> 1)
+}
+
+// GrayDecode inverts GrayEncode.
+func GrayDecode(g int) int {
+	v := 0
+	for g != 0 {
+		v ^= g
+		g >>= 1
+	}
+	return v
+}
+
+// EncodeSymbols maps payload values through Gray coding when enabled; the
+// identity otherwise. The mapping is applied between user data and on-air
+// symbol indices.
+func EncodeSymbols(useGray bool, data []int) []int {
+	out := make([]int, len(data))
+	for i, v := range data {
+		if useGray {
+			out[i] = GrayEncode(v)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// DecodeSymbols inverts EncodeSymbols.
+func DecodeSymbols(useGray bool, symbols []int) []int {
+	out := make([]int, len(symbols))
+	for i, v := range symbols {
+		if useGray {
+			out[i] = GrayDecode(v)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package lora
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrayRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		return GrayDecode(GrayEncode(int(v))) == int(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrayAdjacencyProperty(t *testing.T) {
+	// The defining property: consecutive values differ in exactly one bit.
+	for v := 0; v < 1024; v++ {
+		diff := GrayEncode(v) ^ GrayEncode(v+1)
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("Gray(%d)^Gray(%d) = %b, want a single bit", v, v+1, diff)
+		}
+	}
+}
+
+func TestGrayKnownValues(t *testing.T) {
+	want := []int{0, 1, 3, 2, 6, 7, 5, 4}
+	for v, g := range want {
+		if GrayEncode(v) != g {
+			t.Errorf("GrayEncode(%d) = %d, want %d", v, GrayEncode(v), g)
+		}
+	}
+}
+
+func TestEncodeDecodeSymbols(t *testing.T) {
+	data := []int{0, 1, 2, 3, 7}
+	enc := EncodeSymbols(true, data)
+	dec := DecodeSymbols(true, enc)
+	for i := range data {
+		if dec[i] != data[i] {
+			t.Fatalf("gray path: dec[%d] = %d, want %d", i, dec[i], data[i])
+		}
+	}
+	plain := EncodeSymbols(false, data)
+	for i := range data {
+		if plain[i] != data[i] {
+			t.Fatalf("identity path changed data")
+		}
+	}
+	if out := DecodeSymbols(false, plain); out[4] != 7 {
+		t.Fatal("identity decode changed data")
+	}
+}
+
+func TestGrayReducesBitErrorsOnAdjacentSlips(t *testing.T) {
+	// A peak-position slip to an adjacent symbol costs exactly one bit
+	// under Gray coding but up to K bits in natural binary.
+	const k = 5
+	grayErrs, binErrs := 0, 0
+	for v := 0; v < (1<<k)-1; v++ {
+		slip := v + 1
+		be, _ := CountBitErrors([]int{v}, []int{slip}, k)
+		binErrs += be
+		ge, _ := CountBitErrors([]int{GrayEncode(v)}, []int{GrayEncode(slip)}, k)
+		grayErrs += ge
+	}
+	if grayErrs >= binErrs {
+		t.Errorf("gray %d bit errors vs binary %d; gray should win", grayErrs, binErrs)
+	}
+	if grayErrs != (1<<k)-1 {
+		t.Errorf("gray adjacent slips cost %d bits, want exactly one each (%d)", grayErrs, (1<<k)-1)
+	}
+}

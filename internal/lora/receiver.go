@@ -1,0 +1,117 @@
+package lora
+
+import (
+	"saiyan/internal/dsp"
+)
+
+// Receiver is the standard coherent LoRa demodulator: dechirp with the
+// conjugate base chirp, FFT, and pick the strongest bin. It models the
+// USRP N210 / commercial gateway receiver of Section 4.2 and is the
+// comparator Saiyan is measured against — it needs full IQ sampling at the
+// chirp bandwidth, which is exactly what costs >40 mW on real hardware.
+//
+// The zero value is not usable; construct with NewReceiver.
+type Receiver struct {
+	params     Params
+	sampleRate float64
+	spb        int
+	down       []complex128 // conjugate base chirp
+	fftBuf     []complex128
+}
+
+// NewReceiver builds a receiver for the given parameters. sampleRate must be
+// at least the chirp bandwidth; the canonical choice is exactly BW so that
+// one symbol fills 2^SF samples and FFT bins align with chirp positions.
+func NewReceiver(p Params, sampleRate float64) (*Receiver, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Receiver{params: p, sampleRate: sampleRate}
+	r.spb = p.SamplesPerSymbol(sampleRate)
+	r.down = p.Downchirp(nil, sampleRate)
+	r.fftBuf = make([]complex128, dsp.NextPow2(r.spb))
+	return r, nil
+}
+
+// SamplesPerSymbol returns the symbol length in samples at the receiver's
+// sampling rate.
+func (r *Receiver) SamplesPerSymbol() int { return r.spb }
+
+// DemodSymbol demodulates one symbol window (len >= SamplesPerSymbol) and
+// returns the downlink symbol index plus the full-alphabet bin it mapped
+// from.
+func (r *Receiver) DemodSymbol(iq []complex128) (sym, bin int) {
+	n := r.spb
+	if len(iq) < n {
+		n = len(iq)
+	}
+	buf := r.fftBuf
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		buf[i] = iq[i] * r.down[i]
+	}
+	dsp.FFT(buf)
+	k, _ := dsp.ArgmaxAbs(buf)
+	// Map the FFT bin to a full-alphabet chirp position. The dechirped tone
+	// for position m lands at frequency m/2^SF*BW - offsets that alias onto
+	// bin m when sampleRate == BW and the FFT length equals spb. For padded
+	// FFTs, rescale.
+	binPos := float64(k) / float64(len(buf)) * float64(r.spb)
+	m := binPos / float64(r.spb) * float64(r.params.ChirpCount())
+	sym = r.params.NearestSymbol(m)
+	return sym, int(m + 0.5)
+}
+
+// DemodFrame demodulates the payload of a frame whose first payload sample
+// is at offset within iq. It returns one downlink symbol per payload slot.
+func (r *Receiver) DemodFrame(iq []complex128, offset, nSymbols int) []int {
+	out := make([]int, 0, nSymbols)
+	for s := 0; s < nSymbols; s++ {
+		lo := offset + s*r.spb
+		if lo >= len(iq) {
+			break
+		}
+		hi := lo + r.spb
+		if hi > len(iq) {
+			hi = len(iq)
+		}
+		sym, _ := r.DemodSymbol(iq[lo:hi])
+		out = append(out, sym)
+	}
+	return out
+}
+
+// DetectPreamble searches iq for the LoRa preamble by dechirping
+// symbol-length windows at symbol-length steps and requiring minHits
+// consecutive windows whose peak bin agrees. Because the preamble repeats
+// the same up-chirp, any window alignment inside it produces the same
+// (aliased) dechirp bin window after window, whereas noise hops bins at
+// random. It returns the approximate sample offset of the run's start and
+// true on success. This mirrors how SDR LoRa receivers synchronize.
+func (r *Receiver) DetectPreamble(iq []complex128, minHits int) (int, bool) {
+	if minHits < 2 {
+		minHits = 2
+	}
+	step := r.spb
+	run := 0
+	lastBin := -1
+	for off := 0; off+r.spb <= len(iq); off += step {
+		_, bin := r.DemodSymbol(iq[off : off+r.spb])
+		if bin == lastBin {
+			run++
+			if run >= minHits {
+				start := off - run*step
+				if start < 0 {
+					start = 0
+				}
+				return start, true
+			}
+		} else {
+			run = 0
+			lastBin = bin
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,82 @@
+package lora
+
+import (
+	"testing"
+
+	"saiyan/internal/dsp"
+)
+
+func TestReceiverRejectsInvalidParams(t *testing.T) {
+	p := DefaultParams()
+	p.SF = 0
+	if _, err := NewReceiver(p, Bandwidth500k); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestReceiverAllSymbolsNoiseless(t *testing.T) {
+	p := Params{SF: 7, BandwidthHz: Bandwidth500k, K: 3, CarrierHz: DefaultCarrierHz}
+	rx, err := NewReceiver(p, p.BandwidthHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < p.AlphabetSize(); s++ {
+		iq := p.IQ(nil, p.SymbolValue(s), p.BandwidthHz)
+		got, _ := rx.DemodSymbol(iq)
+		if got != s {
+			t.Errorf("symbol %d demodulated as %d", s, got)
+		}
+	}
+}
+
+func TestReceiverUnderNoise(t *testing.T) {
+	// At 0 dB SNR a CSS symbol with SF7 should still demodulate almost
+	// always (processing gain ~21 dB).
+	p := DefaultParams()
+	rx, err := NewReceiver(p, p.BandwidthHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dsp.NewRand(77, 78)
+	errs := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		s := rng.IntN(p.AlphabetSize())
+		iq := p.IQ(nil, p.SymbolValue(s), p.BandwidthHz)
+		dsp.AddComplexNoise(iq, 1.0, rng) // signal power 1, noise power 1
+		got, _ := rx.DemodSymbol(iq)
+		if got != s {
+			errs++
+		}
+	}
+	if errs > trials/50 {
+		t.Errorf("symbol errors at 0 dB SNR: %d/%d, want < 2%%", errs, trials)
+	}
+}
+
+func TestReceiverDetectPreamble(t *testing.T) {
+	p := DefaultParams()
+	fr, _ := NewFrame(p, []int{1, 0, 1})
+	fs := p.BandwidthHz
+	iq := fr.IQ(nil, fs)
+	// Prepend silence so the preamble is not at offset 0.
+	lead := make([]complex128, 3*p.SamplesPerSymbol(fs))
+	sig := append(lead, iq...)
+	rng := dsp.NewRand(5, 5)
+	dsp.AddComplexNoise(sig, 0.01, rng)
+	rx, _ := NewReceiver(p, fs)
+	off, ok := rx.DetectPreamble(sig, 4)
+	if !ok {
+		t.Fatal("preamble not detected")
+	}
+	spb := p.SamplesPerSymbol(fs)
+	if off > len(lead)+2*spb {
+		t.Errorf("preamble found at %d, expected near %d", off, len(lead))
+	}
+	// Pure noise must not trigger.
+	noise := make([]complex128, len(sig))
+	dsp.AddComplexNoise(noise, 1, rng)
+	if _, ok := rx.DetectPreamble(noise, 6); ok {
+		t.Error("preamble detected in pure noise")
+	}
+}

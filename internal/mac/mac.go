@@ -1,0 +1,151 @@
+// Package mac implements the MAC-layer behaviors the Saiyan feedback loop
+// enables (Sections 1, 4.4 and 5.3): on-demand packet retransmission
+// through downlink ACK/NACK, slotted-ALOHA coordination of multiple tags,
+// channel hopping away from jammed bands, and data-rate adaptation.
+//
+// The package is deliberately independent of the signal-level simulator:
+// link behavior enters through small probability interfaces so the MAC
+// logic can be driven either by the full PHY simulation (the experiments
+// do this) or by analytic link models (the unit tests do this).
+package mac
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// LinkModel abstracts the PHY for MAC simulations.
+type LinkModel interface {
+	// UplinkPRR is the probability that one tag uplink packet is received
+	// by the access point.
+	UplinkPRR() float64
+	// DownlinkPRR is the probability that the tag demodulates one
+	// feedback packet from the access point (this is what Saiyan adds).
+	DownlinkPRR() float64
+}
+
+// StaticLink is a LinkModel with fixed probabilities.
+type StaticLink struct {
+	Up, Down float64
+}
+
+// UplinkPRR implements LinkModel.
+func (s StaticLink) UplinkPRR() float64 { return s.Up }
+
+// DownlinkPRR implements LinkModel.
+func (s StaticLink) DownlinkPRR() float64 { return s.Down }
+
+// RetransmissionResult reports the Figure 26 experiment: packet reception
+// ratio as a function of the retransmission budget.
+type RetransmissionResult struct {
+	MaxRetries int
+	PRR        []float64 // PRR[k] = reception ratio with k retransmissions allowed
+	Attempts   float64   // mean uplink transmissions per delivered packet
+}
+
+// SimulateRetransmission runs nPackets through the ACK feedback loop: the
+// tag transmits; on loss the access point requests a retransmission, which
+// happens only if the tag demodulates the request (the paper's core
+// argument — without Saiyan, DownlinkPRR is 0 and retransmissions never
+// happen on demand).
+func SimulateRetransmission(link LinkModel, nPackets, maxRetries int, rng *rand.Rand) RetransmissionResult {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	res := RetransmissionResult{MaxRetries: maxRetries, PRR: make([]float64, maxRetries+1)}
+	totalAttempts := 0
+	delivered := 0
+	for p := 0; p < nPackets; p++ {
+		deliveredAt := -1
+		for attempt := 0; attempt <= maxRetries; attempt++ {
+			totalAttempts++
+			if rng.Float64() < link.UplinkPRR() {
+				deliveredAt = attempt
+				break
+			}
+			// Lost: the AP asks for a retransmission. If the tag cannot
+			// demodulate the request, the loop ends here.
+			if attempt < maxRetries && rng.Float64() >= link.DownlinkPRR() {
+				break
+			}
+		}
+		if deliveredAt >= 0 {
+			delivered++
+			for k := deliveredAt; k <= maxRetries; k++ {
+				res.PRR[k]++
+			}
+		}
+	}
+	for k := range res.PRR {
+		res.PRR[k] /= float64(nPackets)
+	}
+	if delivered > 0 {
+		res.Attempts = float64(totalAttempts) / float64(delivered)
+	}
+	return res
+}
+
+// DownlinkKind classifies downlink packets (Section 4.4).
+type DownlinkKind int
+
+const (
+	// Unicast targets one tag; only it responds, so no collision occurs.
+	Unicast DownlinkKind = iota
+	// Multicast targets a group; acknowledgements can collide.
+	Multicast
+	// Broadcast targets every tag in range.
+	Broadcast
+)
+
+// String names the kind.
+func (k DownlinkKind) String() string {
+	switch k {
+	case Unicast:
+		return "unicast"
+	case Multicast:
+		return "multicast"
+	case Broadcast:
+		return "broadcast"
+	}
+	return "unknown"
+}
+
+// SlottedALOHA simulates the Section 4.4 acknowledgement protocol: each of
+// nTags picks a uniform slot in [0, nSlots) and transmits when its counter
+// expires (the AP signals slot starts with carrier bursts). It returns the
+// number of acknowledgements that arrived without collision.
+func SlottedALOHA(nTags, nSlots int, rng *rand.Rand) (delivered int, err error) {
+	if nTags < 0 || nSlots < 1 {
+		return 0, fmt.Errorf("mac: invalid ALOHA setup: %d tags, %d slots", nTags, nSlots)
+	}
+	slots := make([]int, nSlots)
+	for t := 0; t < nTags; t++ {
+		slots[rng.IntN(nSlots)]++
+	}
+	for _, n := range slots {
+		if n == 1 {
+			delivered++
+		}
+	}
+	return delivered, nil
+}
+
+// ALOHADeliveryRate estimates the expected fraction of tags whose ACK
+// survives, averaged over rounds.
+func ALOHADeliveryRate(nTags, nSlots, rounds int, rng *rand.Rand) (float64, error) {
+	if rounds < 1 {
+		return 0, fmt.Errorf("mac: rounds must be positive")
+	}
+	if nTags == 0 {
+		return 1, nil
+	}
+	total := 0
+	for r := 0; r < rounds; r++ {
+		d, err := SlottedALOHA(nTags, nSlots, rng)
+		if err != nil {
+			return 0, err
+		}
+		total += d
+	}
+	return float64(total) / float64(rounds*nTags), nil
+}

@@ -1,0 +1,54 @@
+package radio
+
+import "saiyan/internal/dsp"
+
+// Jammer models the in-band interferer of the channel-hopping case study
+// (Section 5.3.2): a software-defined radio placed near the receiver that
+// blasts the tag's uplink channel.
+type Jammer struct {
+	PowerDBm  float64 // jammer transmit power
+	DistanceM float64 // jammer-to-receiver distance (paper: 3 m)
+	ChannelHz float64 // center of the jammed channel
+	Link      LinkBudget
+	DutyCycle float64 // fraction of time the jammer is on, in [0, 1]
+}
+
+// DefaultJammer reproduces the paper's setup: an SDR 3 m from the receiver
+// jamming the 433 MHz channel continuously.
+func DefaultJammer() Jammer {
+	lb := DefaultLinkBudget()
+	lb.TxPowerDBm = 20
+	return Jammer{PowerDBm: 20, DistanceM: 3, ChannelHz: 433.0e6, Link: lb, DutyCycle: 1}
+}
+
+// InterferenceDBm returns the jammer power arriving at the receiver on
+// channelHz. Off-channel interference is assumed filtered out entirely —
+// LoRa channels are 500 kHz apart and the receiver front end selects one.
+func (j Jammer) InterferenceDBm(channelHz float64) float64 {
+	const off = -200.0
+	if !sameChannel(channelHz, j.ChannelHz) {
+		return off
+	}
+	lb := j.Link
+	lb.TxPowerDBm = j.PowerDBm
+	return lb.RSSDBm(j.DistanceM)
+}
+
+// SINRDB combines the desired signal RSS with the jammer and thermal floor
+// on a channel.
+func (j Jammer) SINRDB(signalDBm, channelHz, bandwidthHz float64, noise LinkBudget) float64 {
+	nf := dsp.DBmToWatts(noise.NoiseFloorDBm(bandwidthHz))
+	it := dsp.DBmToWatts(j.InterferenceDBm(channelHz)) * j.DutyCycle
+	sig := dsp.DBmToWatts(signalDBm)
+	return dsp.DB(sig / (nf + it))
+}
+
+// sameChannel treats frequencies within a quarter channel (125 kHz) as
+// co-channel.
+func sameChannel(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 125e3
+}

@@ -1,0 +1,68 @@
+package radio
+
+import "math"
+
+// SAW filters drift with ambient temperature: the resonant frequency of the
+// piezoelectric substrate shifts by roughly TempCoPPM parts per million per
+// degree Celsius (the paper cites [36] and measures the effect in
+// Figure 24). The drift moves the critical band relative to the fixed LoRa
+// chirp band, shrinking the usable amplitude gap.
+
+// TempCoPPM is the SAW temperature coefficient of frequency in ppm/degC.
+// Plain lithium-niobate runs -20..-40 ppm/K, but RF front-end filters like
+// the B3790 are temperature-compensated cuts; the paper's Figure 24 shows
+// the demodulation range moving only ~6% across a 10 K swing, which pins
+// the effective coefficient to single-digit ppm/K.
+const TempCoPPM = -6.0
+
+// ReferenceTempC is the temperature at which the SAW response matches its
+// data sheet.
+const ReferenceTempC = 25.0
+
+// SAWDriftHz returns the shift of the SAW response (Hz) at ambient
+// temperature tempC for a filter centered at centerHz.
+func SAWDriftHz(centerHz, tempC float64) float64 {
+	return centerHz * TempCoPPM * 1e-6 * (tempC - ReferenceTempC)
+}
+
+// DayProfile reproduces the Figure 24 field day: a sunny winter day from
+// 8 a.m. to 8 p.m. with the minimum -8.6 degC at 8 a.m. and the maximum
+// 1.6 degC at 2 p.m. Temperatures follow a clipped sinusoid between those
+// anchors.
+type DayProfile struct {
+	MinC    float64 // temperature at MinHour
+	MaxC    float64 // temperature at MaxHour
+	MinHour float64
+	MaxHour float64
+	StartHr float64
+	EndHr   float64
+	StepHrs float64
+}
+
+// PaperDayProfile returns the Figure 24 schedule.
+func PaperDayProfile() DayProfile {
+	return DayProfile{MinC: -8.6, MaxC: 1.6, MinHour: 8, MaxHour: 14, StartHr: 8, EndHr: 20, StepHrs: 2}
+}
+
+// TempAt returns the modeled temperature at the given hour of day.
+func (d DayProfile) TempAt(hour float64) float64 {
+	amp := (d.MaxC - d.MinC) / 2
+	mid := (d.MaxC + d.MinC) / 2
+	// Half-period between the morning minimum and the afternoon maximum.
+	halfPeriod := d.MaxHour - d.MinHour
+	phase := (hour - d.MinHour) / halfPeriod * math.Pi
+	return mid - amp*math.Cos(phase)
+}
+
+// Hours enumerates the measurement hours of the profile.
+func (d DayProfile) Hours() []float64 {
+	var hrs []float64
+	step := d.StepHrs
+	if step <= 0 {
+		step = 2
+	}
+	for h := d.StartHr; h <= d.EndHr+1e-9; h += step {
+		hrs = append(hrs, h)
+	}
+	return hrs
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+
+	"saiyan/internal/core"
+	"saiyan/internal/radio"
+)
+
+func defaultLink(mode core.Mode) *Link {
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	return NewLink(cfg, radio.DefaultLinkBudget(), 1234)
+}
+
+func TestMeasureBERNearAndFar(t *testing.T) {
+	l := defaultLink(core.ModeFull)
+	near, err := l.MeasureBER(10, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near.BER() > 0.001 {
+		t.Errorf("BER at 10 m = %g, want ~0", near.BER())
+	}
+	far, err := l.MeasureBER(400, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.BER() < 0.05 {
+		t.Errorf("BER at 400 m = %g, want high", far.BER())
+	}
+	if near.RSSDBm <= far.RSSDBm {
+		t.Error("RSS should fall with distance")
+	}
+	if near.Bits != 512*l.Config.Params.K {
+		t.Errorf("bits counted = %d, want %d", near.Bits, 512*l.Config.Params.K)
+	}
+}
+
+func TestBERDeterministicForSeed(t *testing.T) {
+	a, err := defaultLink(core.ModeFull).MeasureBER(120, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := defaultLink(core.ModeFull).MeasureBER(120, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BitErrs != b.BitErrs || a.SymbolErrs != b.SymbolErrs {
+		t.Errorf("same seed gave different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestDemodulationRangeOrdering(t *testing.T) {
+	// The ablation ordering of Figure 25: vanilla < freq-shift < full.
+	opts := DefaultRangeOptions()
+	opts.Symbols = 600
+	opts.Tolerance = 0.05
+	ranges := map[core.Mode]float64{}
+	for _, mode := range []core.Mode{core.ModeVanilla, core.ModeFreqShift, core.ModeFull} {
+		r, err := defaultLink(mode).DemodulationRange(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= 0 {
+			t.Fatalf("%v: demodulation range is zero", mode)
+		}
+		ranges[mode] = r
+	}
+	t.Logf("ranges: vanilla %.1f m, freq-shift %.1f m, full %.1f m",
+		ranges[core.ModeVanilla], ranges[core.ModeFreqShift], ranges[core.ModeFull])
+	if !(ranges[core.ModeVanilla] < ranges[core.ModeFreqShift]) {
+		t.Error("freq-shift should outrange vanilla")
+	}
+	if !(ranges[core.ModeFreqShift] <= ranges[core.ModeFull]) {
+		t.Error("full should outrange freq-shift")
+	}
+	// Paper calibration anchors (Figure 25 at CR=1, Section 5.1.3): the
+	// full system reaches ~148 m outdoors, vanilla ~72 m. Allow generous
+	// tolerance — shapes matter, not meters.
+	if full := ranges[core.ModeFull]; full < 100 || full > 220 {
+		t.Errorf("full-system range = %.1f m, want within [100, 220]", full)
+	}
+	if van := ranges[core.ModeVanilla]; van < 40 || van > 110 {
+		t.Errorf("vanilla range = %.1f m, want within [40, 110]", van)
+	}
+	ratio := ranges[core.ModeFull] / ranges[core.ModeVanilla]
+	if ratio < 1.5 || ratio > 3 {
+		t.Errorf("full/vanilla range ratio = %.2f, want within [1.5, 3]", ratio)
+	}
+}
+
+func TestThroughputTracksBitRate(t *testing.T) {
+	l := defaultLink(core.ModeFull)
+	tr, err := l.MeasureThroughput(10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.DetectRate < 0.99 {
+		t.Errorf("detection rate at 10 m = %g, want ~1", tr.DetectRate)
+	}
+	// Goodput is payload bits over payload airtime: at close range it
+	// should sit essentially at the raw bit rate.
+	raw := l.Config.Params.BitRate()
+	if tr.BitsPerSec < 0.95*raw || tr.BitsPerSec > 1.001*raw {
+		t.Errorf("goodput %g bps outside ~1x bit rate %g", tr.BitsPerSec, raw)
+	}
+	if tr.PRR < 0.99 {
+		t.Errorf("PRR at 10 m = %g, want ~1", tr.PRR)
+	}
+}
+
+func TestThroughputCollapsesOutOfRange(t *testing.T) {
+	l := defaultLink(core.ModeVanilla)
+	tr, err := l.MeasureThroughput(500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PRR > 0.2 {
+		t.Errorf("PRR at 500 m = %g, want ~0", tr.PRR)
+	}
+}
+
+func TestDetectionProbabilityMonotone(t *testing.T) {
+	l := defaultLink(core.ModeFull)
+	near, err := l.DetectionProbability(20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := l.DetectionProbability(500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near < 0.9 {
+		t.Errorf("detection at 20 m = %g, want ~1", near)
+	}
+	if far > near {
+		t.Errorf("detection should degrade with distance: near %g far %g", near, far)
+	}
+}
+
+func TestBisectRangeEdges(t *testing.T) {
+	alwaysFail := func(float64) (bool, error) { return false, nil }
+	alwaysPass := func(float64) (bool, error) { return true, nil }
+	if r, _ := BisectRange(alwaysFail, 1, 100, 0.02); r != 0 {
+		t.Errorf("always-fail range = %g, want 0", r)
+	}
+	if r, _ := BisectRange(alwaysPass, 1, 100, 0.02); r != 100 {
+		t.Errorf("always-pass range = %g, want 100", r)
+	}
+	step := func(d float64) (bool, error) { return d <= 37, nil }
+	r, _ := BisectRange(step, 1, 100, 0.01)
+	if r < 35 || r > 39 {
+		t.Errorf("step range = %g, want ~37", r)
+	}
+}
+
+func TestInvalidConfigSurfacesError(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Params.SF = 0
+	l := NewLink(cfg, radio.DefaultLinkBudget(), 1)
+	if _, err := l.MeasureBER(10, 16); err == nil {
+		t.Error("invalid config did not error")
+	}
+	if _, err := l.MeasureThroughput(10, 1); err == nil {
+		t.Error("invalid config did not error (throughput)")
+	}
+	if _, err := l.DetectionProbability(10, 1); err == nil {
+		t.Error("invalid config did not error (detection)")
+	}
+}
+
+func TestMeasureBERCodedGrayHelps(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Params.K = 4
+	l := NewLink(cfg, radio.DefaultLinkBudget(), 19)
+	// At a distance with measurable errors, Gray mapping must not hurt,
+	// and usually cuts BER (adjacent slips cost 1 bit instead of ~K/2).
+	plain, err := l.MeasureBERCoded(150, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray, err := l.MeasureBERCoded(150, 1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BitErrs == 0 {
+		t.Skip("no errors at probe distance; nothing to compare")
+	}
+	if gray.BitErrs > plain.BitErrs {
+		t.Errorf("gray coding increased bit errors: %d vs %d", gray.BitErrs, plain.BitErrs)
+	}
+	// Symbol error counts should be comparable (the mapping cannot change
+	// which symbols err, only their bit cost) — allow Monte-Carlo slack.
+	if diff := gray.SymbolErrs - plain.SymbolErrs; diff > plain.SymbolErrs/2+4 || -diff > plain.SymbolErrs/2+4 {
+		t.Errorf("symbol errors diverge too much: gray %d vs plain %d", gray.SymbolErrs, plain.SymbolErrs)
+	}
+}

@@ -1,0 +1,197 @@
+package saiyan
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"saiyan/internal/analog"
+	"saiyan/internal/core"
+	"saiyan/internal/dsp"
+	"saiyan/internal/energy"
+	"saiyan/internal/experiments"
+	"saiyan/internal/lora"
+	"saiyan/internal/mac"
+	"saiyan/internal/radio"
+	"saiyan/internal/sim"
+)
+
+// Core demodulator types (the paper's contribution).
+type (
+	// Config assembles a Saiyan demodulator; see DefaultConfig.
+	Config = core.Config
+	// Demodulator is the tag-side Saiyan receiver.
+	Demodulator = core.Demodulator
+	// Mode selects vanilla / freq-shift / full (Figure 25 ablation).
+	Mode = core.Mode
+	// AGCConfig tunes the automatic-gain-control threshold estimator
+	// (the paper's stated future work; see Demodulator.ProcessFrameAuto).
+	AGCConfig = core.AGCConfig
+)
+
+// DefaultAGCConfig returns the calibrated online threshold estimator.
+func DefaultAGCConfig() AGCConfig { return core.DefaultAGCConfig() }
+
+// Demodulator modes.
+const (
+	ModeVanilla   = core.ModeVanilla
+	ModeFreqShift = core.ModeFreqShift
+	ModeFull      = core.ModeFull
+)
+
+// LoRa PHY types.
+type (
+	// Params is one LoRa downlink configuration (SF, BW, bits/chirp K).
+	Params = lora.Params
+	// Frame is a downlink packet: preamble, sync, payload symbols.
+	Frame = lora.Frame
+	// Receiver is the standard dechirp-FFT LoRa receiver (the 40 mW
+	// comparator Saiyan displaces).
+	Receiver = lora.Receiver
+)
+
+// Channel and link types.
+type (
+	// LinkBudget is the 433 MHz link budget (path loss, walls, noise).
+	LinkBudget = radio.LinkBudget
+	// BackscatterLink is the two-hop uplink geometry of Figure 2.
+	BackscatterLink = radio.BackscatterLink
+	// Link runs end-to-end BER / throughput / range measurements.
+	Link = sim.Link
+	// RangeOptions tunes the range bisection searches.
+	RangeOptions = sim.RangeOptions
+	// SAWFilter is the frequency-amplitude converter model (Figure 5).
+	SAWFilter = analog.SAWFilter
+)
+
+// Energy accounting types.
+type (
+	// EnergyLedger is a per-component power/cost table (Table 2).
+	EnergyLedger = energy.Ledger
+	// Harvester models the photovoltaic supply (Sections 1, 4.1).
+	Harvester = energy.Harvester
+)
+
+// MAC types enabled by the feedback loop.
+type (
+	// RetransmissionResult is the Figure 26 PRR-vs-retries outcome.
+	RetransmissionResult = mac.RetransmissionResult
+	// HoppingConfig drives the Figure 27 channel-hopping case study.
+	HoppingConfig = mac.HoppingConfig
+	// RateAdapter picks the fastest safe downlink coding rate.
+	RateAdapter = mac.RateAdapter
+	// Command is a downlink instruction (retransmit, hop, set rate,
+	// sensor on/off).
+	Command = mac.Command
+	// Opcode identifies a downlink command type.
+	Opcode = mac.Opcode
+	// Network simulates an access point serving multiple tags.
+	Network = mac.Network
+)
+
+// Downlink opcodes.
+const (
+	OpAck        = mac.OpAck
+	OpRetransmit = mac.OpRetransmit
+	OpHopChannel = mac.OpHopChannel
+	OpSetRate    = mac.OpSetRate
+	OpSensorOn   = mac.OpSensorOn
+	OpSensorOff  = mac.OpSensorOff
+	// BroadcastAddr addresses every tag in range.
+	BroadcastAddr = mac.BroadcastAddr
+)
+
+// ParseCommandSymbols decodes downlink symbols received by a tag back into
+// a Command, undoing the Gray mapping and verifying the checksum.
+func ParseCommandSymbols(p Params, symbols []int) (Command, error) {
+	return mac.CommandFromSymbols(p, symbols)
+}
+
+// NewNetwork builds a multi-tag MAC simulation with the given number of
+// slotted-ALOHA slots.
+func NewNetwork(slots int, rng *rand.Rand) (*Network, error) {
+	return mac.NewNetwork(slots, rng)
+}
+
+// Experiment harness types.
+type (
+	// Experiment regenerates one of the paper's tables or figures.
+	Experiment = experiments.Experiment
+	// ExperimentOptions tunes experiment fidelity.
+	ExperimentOptions = experiments.Options
+	// ResultTable is the printable output of an experiment.
+	ResultTable = experiments.Table
+)
+
+// DefaultConfig returns the paper's Section 5 evaluation setting: SF 7,
+// BW 500 kHz, CR 1, full demodulation chain, 3.2x sampling.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewDemodulator builds a Saiyan demodulator. Call Calibrate with the
+// expected feedback RSS before demodulating, exactly as the prototype
+// loads its per-distance threshold table.
+func NewDemodulator(cfg Config) (*Demodulator, error) { return core.New(cfg) }
+
+// DefaultParams returns SF 7 / BW 500 kHz / CR 1 at 433.5 MHz.
+func DefaultParams() Params { return lora.DefaultParams() }
+
+// NewFrame builds a downlink frame from payload symbols in [0, 2^K).
+func NewFrame(p Params, payload []int) (*Frame, error) { return lora.NewFrame(p, payload) }
+
+// NewReceiver builds the standard dechirp-FFT LoRa receiver.
+func NewReceiver(p Params, sampleRateHz float64) (*Receiver, error) {
+	return lora.NewReceiver(p, sampleRateHz)
+}
+
+// DefaultLinkBudget returns the paper's field setup: 20 dBm, 3 dBi
+// antennas, 433.5 MHz, outdoor propagation.
+func DefaultLinkBudget() LinkBudget { return radio.DefaultLinkBudget() }
+
+// NewLink couples a demodulator configuration with a link budget for
+// end-to-end measurements.
+func NewLink(cfg Config, budget LinkBudget, seed uint64) *Link {
+	return sim.NewLink(cfg, budget, seed)
+}
+
+// DefaultRangeOptions matches the paper's BER <= 1e-3 range criterion.
+func DefaultRangeOptions() RangeOptions { return sim.DefaultRangeOptions() }
+
+// PaperSAW returns the Figure 5 SAW filter model.
+func PaperSAW() *SAWFilter { return analog.PaperSAW() }
+
+// NewRand returns the deterministic PRNG used across the simulator.
+func NewRand(seed1, seed2 uint64) *rand.Rand { return dsp.NewRand(seed1, seed2) }
+
+// PCBLedger returns Table 2 (PCB prototype power and cost).
+func PCBLedger() EnergyLedger { return energy.PCBLedger() }
+
+// ASICLedger returns the Section 4.3 ASIC power simulation (93.2 uW).
+func ASICLedger() EnergyLedger { return energy.ASICLedger() }
+
+// DefaultHarvester returns the bright-day photovoltaic model.
+func DefaultHarvester() Harvester { return energy.DefaultHarvester() }
+
+// SimulateRetransmission runs the ACK feedback loop of Figure 26 with
+// fixed uplink/downlink packet reception probabilities.
+func SimulateRetransmission(upPRR, downPRR float64, nPackets, maxRetries int, rng *rand.Rand) RetransmissionResult {
+	return mac.SimulateRetransmission(mac.StaticLink{Up: upPRR, Down: downPRR}, nPackets, maxRetries, rng)
+}
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment { return experiments.List() }
+
+// RunExperiment runs one experiment by id ("fig16", "tab1", ...) and writes
+// its table to w.
+func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
+	e, err := experiments.Get(id)
+	if err != nil {
+		return err
+	}
+	tab, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	return tab.Render(w)
+}
+
+// DefaultExperimentOptions returns full-fidelity experiment settings.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }

@@ -1,0 +1,184 @@
+package saiyan_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"saiyan"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := saiyan.DefaultConfig()
+	cfg.Params.K = 2
+	demod, err := saiyan.NewDemodulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := saiyan.NewRand(1, 2)
+	rss := saiyan.DefaultLinkBudget().RSSDBm(60)
+	demod.Calibrate(rss, rng)
+	frame, err := saiyan.NewFrame(cfg.Params, []int{1, 0, 3, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols, detected, err := demod.ProcessFrame(frame, rss, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Fatal("preamble not detected at 60 m")
+	}
+	errs := 0
+	for i, want := range frame.Payload {
+		if i >= len(symbols) || symbols[i] != want {
+			errs++
+		}
+	}
+	if errs > 1 {
+		t.Errorf("decoded %v, want %v", symbols, frame.Payload)
+	}
+}
+
+func TestFacadeLinkMeasurement(t *testing.T) {
+	link := saiyan.NewLink(saiyan.DefaultConfig(), saiyan.DefaultLinkBudget(), 99)
+	res, err := link.MeasureBER(30, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER() > 0.01 {
+		t.Errorf("BER at 30 m = %g, want ~0", res.BER())
+	}
+}
+
+func TestFacadeEnergy(t *testing.T) {
+	if saiyan.PCBLedger().TotalPowerUW() < saiyan.ASICLedger().TotalPowerUW() {
+		t.Error("ASIC should be cheaper than PCB")
+	}
+	if !saiyan.DefaultHarvester().Sustainable(saiyan.ASICLedger().TotalPowerUW() * 0.1) {
+		t.Error("10% duty ASIC should be sustainable")
+	}
+}
+
+func TestFacadeRetransmission(t *testing.T) {
+	res := saiyan.SimulateRetransmission(0.5, 1, 20000, 2, saiyan.NewRand(3, 4))
+	if res.PRR[2] < res.PRR[0] {
+		t.Error("PRR should not decrease with retries")
+	}
+	if res.PRR[2] < 0.8 {
+		t.Errorf("PRR with 2 retries = %g, want ~0.875", res.PRR[2])
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if got := len(saiyan.Experiments()); got < 20 {
+		t.Errorf("only %d experiments registered", got)
+	}
+	var buf bytes.Buffer
+	opts := saiyan.DefaultExperimentOptions()
+	opts.Quick = true
+	if err := saiyan.RunExperiment("fig5", opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig5") {
+		t.Error("experiment output missing header")
+	}
+	if err := saiyan.RunExperiment("nope", opts, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFacadeStandardReceiver(t *testing.T) {
+	p := saiyan.DefaultParams()
+	rx, err := saiyan.NewReceiver(p, p.BandwidthHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rx.SamplesPerSymbol() != 128 {
+		t.Errorf("samples per symbol = %d, want 128", rx.SamplesPerSymbol())
+	}
+}
+
+func TestFacadeSAW(t *testing.T) {
+	saw := saiyan.PaperSAW()
+	if gap := saw.AmplitudeGapDB(500e3); gap < 24.9 || gap > 25.1 {
+		t.Errorf("SAW gap = %g, want 25 dB", gap)
+	}
+}
+
+func TestCommandOverPHYEndToEnd(t *testing.T) {
+	// The full feedback path: the AP encodes a "hop to channel 2" command,
+	// modulates it as a downlink frame, the simulated channel attenuates
+	// it over 90 m, the tag's Saiyan front end demodulates the symbols,
+	// and the MAC layer parses the command back — checksum intact.
+	cfg := saiyan.DefaultConfig()
+	cfg.Params.K = 3
+	demod, err := saiyan.NewDemodulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := saiyan.NewRand(404, 2022)
+	rss := saiyan.DefaultLinkBudget().RSSDBm(90)
+	demod.Calibrate(rss, rng)
+
+	cmd := saiyan.Command{Op: saiyan.OpHopChannel, Addr: 17, Arg: 2}
+	frame, err := cmd.ToFrame(cfg.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symbols, detected, err := demod.ProcessFrame(frame, rss, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Fatal("command frame not detected at 90 m")
+	}
+	got, err := saiyan.ParseCommandSymbols(cfg.Params, symbols)
+	if err != nil {
+		t.Fatalf("command did not survive the air: %v (symbols %v)", err, symbols)
+	}
+	if got != cmd {
+		t.Errorf("received %+v, sent %+v", got, cmd)
+	}
+}
+
+func TestNetworkFacade(t *testing.T) {
+	rng := saiyan.NewRand(1, 9)
+	n, err := saiyan.NewNetwork(16, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddTag(1, 0.9, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		n.RunRound(2)
+	}
+	if rate := n.DeliveryRate(); rate < 0.9 {
+		t.Errorf("delivery rate = %g, want > 0.9 with feedback", rate)
+	}
+}
+
+func TestFacadeAGC(t *testing.T) {
+	cfg := saiyan.DefaultConfig()
+	demod, err := saiyan.NewDemodulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := saiyan.NewRand(8, 8)
+	frame, err := saiyan.NewFrame(cfg.Params, []int{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rss := saiyan.DefaultLinkBudget().RSSDBm(70)
+	got, detected, err := demod.ProcessFrameAuto(frame, rss, saiyan.DefaultAGCConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Fatal("AGC path did not detect at 70 m")
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d symbols, want 3", len(got))
+	}
+}
