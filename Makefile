@@ -1,0 +1,32 @@
+# Local targets mirroring .github/workflows/ci.yml, so `make ci` reproduces
+# exactly what the blocking CI job runs.
+
+GO ?= go
+
+.PHONY: build test test-short bench fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check test-short

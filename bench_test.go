@@ -97,6 +97,73 @@ func BenchmarkFig26(b *testing.B) { benchExperiment(b, "fig26") }
 // BenchmarkFig27 regenerates Figure 27: channel-hopping PRR CDF.
 func BenchmarkFig27(b *testing.B) { benchExperiment(b, "fig27") }
 
+// Pipeline benchmarks: concurrent multi-tag gateway throughput. Each
+// iteration streams a fixed traffic matrix (tags x frames) through a fresh
+// worker pool and reports frames/sec from the pipeline's own clock; compare
+// the workers=1 and workers=8 variants on a multi-core machine to see the
+// pool scale.
+
+func benchPipeline(b *testing.B, workers, tags int) {
+	const framesPerTag = 4
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 120, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-build the traffic matrix outside the timer; the benchmark
+	// measures demodulation, not frame synthesis.
+	var jobs []saiyan.PipelineJob
+	for f := 0; f < framesPerTag; f++ {
+		for _, tag := range ts.Tags {
+			frame, want, err := ts.Frame(tag.ID, uint64(f))
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, saiyan.PipelineJob{Tag: tag.ID, Frame: frame, RSSDBm: tag.RSSDBm, Want: want})
+		}
+	}
+	rss := make([]float64, len(ts.Tags))
+	for i, tag := range ts.Tags {
+		rss[i] = tag.RSSDBm
+	}
+	cfg := saiyan.DefaultPipelineConfig()
+	cfg.Workers = workers
+	cfg.Seed = 7
+	cfg.DiscardResults = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last saiyan.PipelineStats
+	for i := 0; i < b.N; i++ {
+		// Pool construction and the per-distance threshold table are
+		// setup, not streaming work; keep them off the timer so the
+		// worker-count variants compare pure demodulation throughput.
+		b.StopTimer()
+		p, err := saiyan.NewPipeline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Precalibrate(rss...)
+		b.StartTimer()
+		for at := 0; at < len(jobs); at += tags {
+			if err := p.Submit(jobs[at : at+tags]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		last = p.Drain()
+		if last.FramesOut != uint64(len(jobs)) {
+			b.Fatalf("pipeline lost frames: %d/%d", last.FramesOut, len(jobs))
+		}
+	}
+	b.ReportMetric(last.FramesPerSec(), "frames/s")
+	b.ReportMetric(last.MSamplesPerSec(), "Msamples/s")
+}
+
+func BenchmarkPipeline1Worker4Tags(b *testing.B)   { benchPipeline(b, 1, 4) }
+func BenchmarkPipeline4Workers4Tags(b *testing.B)  { benchPipeline(b, 4, 4) }
+func BenchmarkPipeline8Workers4Tags(b *testing.B)  { benchPipeline(b, 8, 4) }
+func BenchmarkPipeline1Worker32Tags(b *testing.B)  { benchPipeline(b, 1, 32) }
+func BenchmarkPipeline4Workers32Tags(b *testing.B) { benchPipeline(b, 4, 32) }
+func BenchmarkPipeline8Workers32Tags(b *testing.B) { benchPipeline(b, 8, 32) }
+
 // Component-level microbenchmarks: the per-stage costs a porting effort
 // would care about.
 

@@ -5,11 +5,17 @@
 //	saiyan list                     enumerate every table/figure runner
 //	saiyan run fig16 [fig25 ...]    run selected experiments
 //	saiyan run all                  run the whole registry
+//	saiyan -pipeline [-workers N -tags M -frames F]
+//	                                multi-tag concurrent demodulation demo
 //
 // Flags:
 //
 //	-quick        reduced Monte-Carlo fidelity (seconds instead of minutes)
 //	-seed N       PRNG seed (default 20220404)
+//	-pipeline     run the concurrent gateway pipeline instead of experiments
+//	-workers N    pipeline demodulator workers (default: one per CPU)
+//	-tags M       simulated tag population (default 16)
+//	-frames F     frames per tag (default 4)
 package main
 
 import (
@@ -24,8 +30,20 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run with reduced Monte-Carlo fidelity")
 	seed := flag.Uint64("seed", 20220404, "experiment PRNG seed")
+	pipelineMode := flag.Bool("pipeline", false, "run the concurrent multi-tag demodulation pipeline")
+	workers := flag.Int("workers", 0, "pipeline workers (0 = one per CPU)")
+	tags := flag.Int("tags", 16, "simulated tag population")
+	frames := flag.Int("frames", 4, "frames per tag")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *pipelineMode {
+		if err := runPipeline(*workers, *tags, *frames, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "saiyan: pipeline: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -67,15 +85,55 @@ func main() {
 	}
 }
 
+// runPipeline simulates a gateway serving a multi-tag deployment: every tag
+// sends `frames` downlink frames and the worker pool demodulates them
+// concurrently, printing the aggregate throughput/error snapshot.
+func runPipeline(workers, tags, frames int, seed uint64) error {
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 150, seed)
+	if err != nil {
+		return err
+	}
+	cfg := saiyan.DefaultPipelineConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	cfg.DiscardResults = true
+	p, err := saiyan.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	batch := make([]saiyan.PipelineJob, 0, len(ts.Tags))
+	for f := 0; f < frames; f++ {
+		batch = batch[:0]
+		for _, tag := range ts.Tags {
+			frame, want, err := ts.Frame(tag.ID, uint64(f))
+			if err != nil {
+				return err
+			}
+			batch = append(batch, saiyan.PipelineJob{Tag: tag.ID, Frame: frame, RSSDBm: tag.RSSDBm, Want: want})
+		}
+		if err := p.Submit(batch...); err != nil {
+			return err
+		}
+	}
+	st := p.Drain()
+	fmt.Printf("pipeline: %d tags x %d frames (20-150 m)\n%v\n", tags, frames, st)
+	return nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `saiyan - reproduce the NSDI'22 Saiyan evaluation
 
 usage:
   saiyan [flags] list
   saiyan [flags] run <id>... | all
+  saiyan -pipeline [-workers N -tags M -frames F]
 
 flags:
   -quick      reduced Monte-Carlo fidelity
   -seed N     PRNG seed
+  -pipeline   run the concurrent multi-tag demodulation pipeline
+  -workers N  pipeline workers (0 = one per CPU)
+  -tags M     simulated tag population
+  -frames F   frames per tag
 `)
 }

@@ -33,4 +33,29 @@
 // demodulation/detection range) and the experiment registry
 // (Experiments / RunExperiment), which regenerates every evaluation artifact
 // of the paper.
+//
+// # Concurrent multi-tag pipeline
+//
+// A gateway-scale deployment demodulates frames from many tags at once.
+// Pipeline fans submitted frames out to a pool of demodulator workers with
+// bounded-queue backpressure and pooled sample buffers:
+//
+//	tags, _ := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), 24, 20, 140, seed)
+//	cfg := saiyan.DefaultPipelineConfig()      // one worker per CPU
+//	cfg.Seed = seed
+//	p, _ := saiyan.NewPipeline(cfg)
+//	go func() {
+//		for r := range p.Results() { ... }     // consume while submitting
+//	}()
+//	frame, want, _ := tags.Frame(0, 0)
+//	p.Submit(saiyan.PipelineJob{Tag: 0, Frame: frame, RSSDBm: tags.Tags[0].RSSDBm, Want: want})
+//	stats := p.Drain()                          // frames/s, Msamples/s, SER, PRR
+//
+// Determinism survives concurrency: each frame's noise comes from an RNG
+// shard keyed by its submission sequence number and calibration is seeded
+// per distance quantum, so a fixed seed yields a bit-identical symbol
+// stream whether one worker runs or sixteen. Workers share a per-distance
+// calibration table (quantized to PipelineConfig.CalibrationQuantumDB,
+// mirroring the prototype's per-distance threshold tables) and clone the
+// calibrated master demodulator on first use.
 package saiyan

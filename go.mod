@@ -1,0 +1,3 @@
+module saiyan
+
+go 1.24

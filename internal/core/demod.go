@@ -58,6 +58,11 @@ func (d *Demodulator) Calibrate(rssDBm float64, rng *rand.Rand) {
 
 	if d.cfg.Mode == ModeFull {
 		d.buildTemplates(rssDBm)
+		// Materialize the detection template eagerly so a calibrated
+		// demodulator is read-only from here on: Clone relies on this to
+		// share templates across concurrent workers without racing the
+		// lazy render.
+		d.detectionTemplate()
 	}
 	d.calibrated = true
 }
@@ -305,32 +310,9 @@ func windowCorrelation(win, tmpl []float64) float64 {
 // ProcessFrame runs the complete tag pipeline on a downlink frame arriving
 // at rssDBm: render the whole frame (preamble + sync + payload), detect the
 // preamble, skip 2.25 symbol times, and decode the payload. It returns the
-// decoded symbols and whether the preamble was found.
+// decoded symbols and whether the preamble was found. Callers demodulating
+// many frames can avoid the per-frame render allocations with
+// ProcessFrameScratch.
 func (d *Demodulator) ProcessFrame(frame *lora.Frame, rssDBm float64, rng *rand.Rand) ([]int, bool, error) {
-	if !d.calibrated {
-		return nil, false, ErrNotCalibrated
-	}
-	traj := frame.FreqTrajectory(nil, d.fsSim)
-	env := d.RenderEnvelope(nil, traj, rssDBm, rng)
-	start, ok := d.DetectPreamble(env)
-	if !ok {
-		return nil, false, nil
-	}
-	// DetectPreamble returns where the first preamble symbol begins; the
-	// payload follows the ten up-chirps and 2.25 sync symbol times
-	// (Section 2.2, Figure 8).
-	payloadAt := start + int(math.Round((float64(lora.PreambleUpchirps)+lora.SyncSymbols)*d.spbSamp))
-	if d.cfg.Mode == ModeFull {
-		envC := d.RenderCorrEnvelope(nil, traj, rssDBm, rng)
-		scale := d.cfg.CorrOversample
-		lo := payloadAt * scale
-		if lo >= len(envC) {
-			return nil, true, nil
-		}
-		return d.decodeByCorrelation(envC[lo:], len(frame.Payload)), true, nil
-	}
-	if payloadAt >= len(env) {
-		return nil, true, nil
-	}
-	return d.decodeByPeakTracking(env[payloadAt:], len(frame.Payload)), true, nil
+	return d.ProcessFrameScratch(frame, rssDBm, rng, nil)
 }

@@ -11,6 +11,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -19,6 +20,12 @@ import (
 type Options struct {
 	// Quick reduces trial counts by roughly an order of magnitude.
 	Quick bool
+	// TrialScale further multiplies every trial count after the
+	// full/quick selection; 0 means 1.0 (no extra scaling). CI's -short
+	// mode runs the registry at a fractional scale so the whole sweep
+	// finishes in seconds, while the non-short job keeps paper-fidelity
+	// counts.
+	TrialScale float64
 	// Seed drives every PRNG in the experiment.
 	Seed uint64
 }
@@ -26,12 +33,20 @@ type Options struct {
 // DefaultOptions returns full-fidelity settings with a fixed seed.
 func DefaultOptions() Options { return Options{Seed: 20220404} }
 
-// scale returns full or quick depending on the fidelity setting.
+// scale returns full or quick depending on the fidelity setting, scaled by
+// TrialScale and floored at one trial.
 func (o Options) scale(full, quick int) int {
+	n := full
 	if o.Quick {
-		return quick
+		n = quick
 	}
-	return full
+	if o.TrialScale > 0 && o.TrialScale != 1 {
+		n = int(math.Round(float64(n) * o.TrialScale))
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
 }
 
 // Table is the output of one experiment.

@@ -91,14 +91,15 @@ func TestQuickExperimentsSmoke(t *testing.T) {
 }
 
 // TestAllExperimentsQuick runs the entire registry in quick mode. It is the
-// integration test for the whole reproduction and takes tens of seconds;
-// skipped under -short.
+// integration test for the whole reproduction; the full run takes tens of
+// seconds, so -short further cuts the Monte-Carlo trial counts to keep
+// registry coverage while finishing in seconds.
 func TestAllExperimentsQuick(t *testing.T) {
-	if testing.Short() {
-		t.Skip("quick registry run skipped in -short mode")
-	}
 	opts := DefaultOptions()
 	opts.Quick = true
+	if testing.Short() {
+		opts.TrialScale = 0.05
+	}
 	for _, e := range List() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

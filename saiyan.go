@@ -11,6 +11,7 @@ import (
 	"saiyan/internal/experiments"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
+	"saiyan/internal/pipeline"
 	"saiyan/internal/radio"
 	"saiyan/internal/sim"
 )
@@ -110,6 +111,45 @@ func ParseCommandSymbols(p Params, symbols []int) (Command, error) {
 // slotted-ALOHA slots.
 func NewNetwork(slots int, rng *rand.Rand) (*Network, error) {
 	return mac.NewNetwork(slots, rng)
+}
+
+// Concurrent demodulation pipeline types.
+type (
+	// Pipeline fans frames from many tags out to a pool of demodulator
+	// workers; build with NewPipeline, feed with Submit, finish with Drain.
+	Pipeline = pipeline.Pipeline
+	// PipelineConfig tunes the worker pool, queue depths, seed, and the
+	// per-distance calibration quantum.
+	PipelineConfig = pipeline.Config
+	// PipelineJob is one downlink frame awaiting demodulation.
+	PipelineJob = pipeline.Job
+	// PipelineResult is the demodulation outcome of one job.
+	PipelineResult = pipeline.Result
+	// PipelineStats is the aggregate throughput/error snapshot.
+	PipelineStats = pipeline.Stats
+	// TagSet generates deterministic multi-tag downlink traffic.
+	TagSet = sim.TagSet
+	// SimTag is one simulated tag of a TagSet.
+	SimTag = sim.SimTag
+)
+
+// ErrPipelineDrained is returned by Pipeline.Submit after Drain.
+var ErrPipelineDrained = pipeline.ErrDrained
+
+// DefaultPipelineConfig returns a pipeline over the paper's default
+// demodulator with one worker per CPU.
+func DefaultPipelineConfig() PipelineConfig { return pipeline.DefaultConfig() }
+
+// NewPipeline starts a concurrent demodulation pipeline. For a fixed
+// cfg.Seed the decoded symbol stream is identical regardless of worker
+// count.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return pipeline.New(cfg) }
+
+// NewTagSet places n simulated tags geometrically between minM and maxM
+// from the access point and derives their RSS from the link budget; frames
+// and payloads are deterministic in (seed, tag, sequence).
+func NewTagSet(p Params, budget LinkBudget, n int, minM, maxM float64, seed uint64) (*TagSet, error) {
+	return sim.NewTagSet(p, budget, n, minM, maxM, seed)
 }
 
 // Experiment harness types.
