@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench fmt fmt-check vet ci
+.PHONY: build test test-short bench bench-json golden fuzz fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,23 @@ test-short:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
+# Bench smoke with results archived as JSON (what the CI full job uploads).
+# Redirect instead of piping through tee so a bench failure stops make.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x ./... > bench.txt
+	@cat bench.txt
+	$(GO) run ./cmd/benchjson < bench.txt > BENCH_pipeline.json
+
+# Replay the checked-in golden trace (blocking in CI); regenerate it after
+# an intentional demodulator behavior change with:
+#   go test ./internal/pipeline -run TestGoldenTraceReplay -update-golden
+golden:
+	$(GO) test -run 'TestGoldenTraceReplay' -count=1 -v ./internal/pipeline
+
+# Short fuzz session over the trace codec.
+fuzz:
+	$(GO) test -run FuzzTraceRoundTrip -fuzz FuzzTraceRoundTrip -fuzztime 30s ./internal/trace
+
 fmt:
 	gofmt -w .
 
@@ -29,4 +46,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test-short
+ci: build vet fmt-check test-short golden

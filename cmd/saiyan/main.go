@@ -1,14 +1,19 @@
-// Command saiyan runs the paper-reproduction experiments from the terminal.
+// Command saiyan runs the paper-reproduction experiments and the
+// gateway-scale demodulation workloads from the terminal.
 //
 // Usage:
 //
 //	saiyan list                     enumerate every table/figure runner
 //	saiyan run fig16 [fig25 ...]    run selected experiments
 //	saiyan run all                  run the whole registry
+//	saiyan record -out t.trace.gz [-tags M -frames F -workers N -samples]
+//	                                demodulate live traffic and record it
+//	saiyan replay [-workers N -verify] <trace>
+//	                                re-demodulate a recorded trace
 //	saiyan -pipeline [-workers N -tags M -frames F]
 //	                                multi-tag concurrent demodulation demo
 //
-// Flags:
+// Global flags (before the subcommand):
 //
 //	-quick        reduced Monte-Carlo fidelity (seconds instead of minutes)
 //	-seed N       PRNG seed (default 20220404)
@@ -36,8 +41,15 @@ func main() {
 	frames := flag.Int("frames", 4, "frames per tag")
 	flag.Usage = usage
 	flag.Parse()
+	args := flag.Args()
 
 	if *pipelineMode {
+		// -pipeline is a complete mode of its own: trailing positional
+		// arguments would silently be ignored, so make the conflict loud.
+		if len(args) > 0 {
+			fmt.Fprintf(os.Stderr, "saiyan: -pipeline takes no subcommand, got %q; use either 'saiyan -pipeline' or 'saiyan %s'\n", args, args[0])
+			os.Exit(2)
+		}
 		if err := runPipeline(*workers, *tags, *frames, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "saiyan: pipeline: %v\n", err)
 			os.Exit(1)
@@ -45,43 +57,55 @@ func main() {
 		return
 	}
 
-	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	opts := saiyan.DefaultExperimentOptions()
-	opts.Quick = *quick
-	opts.Seed = *seed
-
 	switch args[0] {
 	case "list":
 		for _, e := range saiyan.Experiments() {
 			fmt.Printf("%-6s  %s\n        paper: %s\n", e.ID, e.Title, e.PaperResult)
 		}
 	case "run":
-		ids := args[1:]
-		if len(ids) == 0 {
-			fmt.Fprintln(os.Stderr, "saiyan run: need experiment ids or 'all'")
-			os.Exit(2)
+		runExperiments(args[1:], *quick, *seed)
+	case "record":
+		if err := runRecord(args[1:], *workers, *tags, *frames, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "saiyan: record: %v\n", err)
+			os.Exit(1)
 		}
-		if len(ids) == 1 && ids[0] == "all" {
-			ids = ids[:0]
-			for _, e := range saiyan.Experiments() {
-				ids = append(ids, e.ID)
-			}
-		}
-		for _, id := range ids {
-			start := time.Now()
-			if err := saiyan.RunExperiment(id, opts, os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "saiyan: %s failed: %v\n", id, err)
-				os.Exit(1)
-			}
-			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	case "replay":
+		if err := runReplay(args[1:], *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "saiyan: replay: %v\n", err)
+			os.Exit(1)
 		}
 	default:
 		usage()
 		os.Exit(2)
+	}
+}
+
+// runExperiments executes selected registry entries.
+func runExperiments(ids []string, quick bool, seed uint64) {
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "saiyan run: need experiment ids or 'all'")
+		os.Exit(2)
+	}
+	opts := saiyan.DefaultExperimentOptions()
+	opts.Quick = quick
+	opts.Seed = seed
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = ids[:0]
+		for _, e := range saiyan.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := saiyan.RunExperiment(id, opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "saiyan: %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 }
 
@@ -93,6 +117,10 @@ func runPipeline(workers, tags, frames int, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	src, err := saiyan.NewTagTrafficSource(ts, frames)
+	if err != nil {
+		return err
+	}
 	cfg := saiyan.DefaultPipelineConfig()
 	cfg.Workers = workers
 	cfg.Seed = seed
@@ -101,22 +129,85 @@ func runPipeline(workers, tags, frames int, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	batch := make([]saiyan.PipelineJob, 0, len(ts.Tags))
-	for f := 0; f < frames; f++ {
-		batch = batch[:0]
-		for _, tag := range ts.Tags {
-			frame, want, err := ts.Frame(tag.ID, uint64(f))
-			if err != nil {
-				return err
-			}
-			batch = append(batch, saiyan.PipelineJob{Tag: tag.ID, Frame: frame, RSSDBm: tag.RSSDBm, Want: want})
-		}
-		if err := p.Submit(batch...); err != nil {
+	st, err := p.Run(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pipeline: %d tags x %d frames (20-150 m)\n%v\n", tags, frames, st)
+	return nil
+}
+
+// runRecord demodulates live multi-tag traffic while capturing every frame
+// and its decoded decisions to a trace file.
+func runRecord(args []string, workers, tags, frames int, seed uint64) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	out := fs.String("out", "", "trace output path (gzip when it ends in .gz); required")
+	fs.IntVar(&tags, "tags", tags, "simulated tag population")
+	fs.IntVar(&frames, "frames", frames, "frames per tag")
+	fs.IntVar(&workers, "workers", workers, "pipeline workers (0 = one per CPU)")
+	fs.Uint64Var(&seed, "seed", seed, "recording PRNG seed")
+	samples := fs.Bool("samples", false, "also record rendered trajectory/envelope samples (large)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-out is required")
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments %q", extra)
+	}
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 150, seed)
+	if err != nil {
+		return err
+	}
+	src, err := saiyan.NewTagTrafficSource(ts, frames)
+	if err != nil {
+		return err
+	}
+	cfg := saiyan.DefaultPipelineConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	cfg.DiscardResults = true
+	st, err := saiyan.RecordTrace(*out, cfg, src, *samples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d tags x %d frames -> %s\n%v\n", tags, frames, *out, st)
+	return nil
+}
+
+// runReplay re-demodulates a recorded trace, optionally verifying every
+// decode against the decisions stored in it.
+func runReplay(args []string, workers int) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.IntVar(&workers, "workers", workers, "pipeline workers (0 = one per CPU)")
+	verify := fs.Bool("verify", false, "compare every decode against the recorded decisions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one trace path, got %d", fs.NArg())
+	}
+	path := fs.Arg(0)
+	if *verify {
+		st, mismatches, err := saiyan.VerifyTrace(path, workers)
+		if err != nil {
 			return err
 		}
+		fmt.Printf("replayed %s\n%v\n", path, st)
+		if mismatches != 0 {
+			return fmt.Errorf("%d of %d frames diverged from the recorded decisions", mismatches, st.FramesOut)
+		}
+		fmt.Println("verify: every decode matches the recorded decisions")
+		return nil
 	}
-	st := p.Drain()
-	fmt.Printf("pipeline: %d tags x %d frames (20-150 m)\n%v\n", tags, frames, st)
+	st, err := saiyan.ReplayTrace(path, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %s\n%v\n", path, st)
 	return nil
 }
 
@@ -126,12 +217,15 @@ func usage() {
 usage:
   saiyan [flags] list
   saiyan [flags] run <id>... | all
+  saiyan [flags] record -out <trace> [-tags M -frames F -workers N -samples]
+  saiyan [flags] replay [-workers N -verify] <trace>
   saiyan -pipeline [-workers N -tags M -frames F]
 
-flags:
+global flags:
   -quick      reduced Monte-Carlo fidelity
   -seed N     PRNG seed
   -pipeline   run the concurrent multi-tag demodulation pipeline
+              (takes no subcommand; combining them is an error)
   -workers N  pipeline workers (0 = one per CPU)
   -tags M     simulated tag population
   -frames F   frames per tag

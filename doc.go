@@ -58,4 +58,44 @@
 // calibration table (quantized to PipelineConfig.CalibrationQuantumDB,
 // mirroring the prototype's per-distance threshold tables) and clone the
 // calibrated master demodulator on first use.
+//
+// # Record & replay
+//
+// Any pipeline run can be captured to a portable trace file and
+// re-demodulated later, bit-exactly — the offline workload class that
+// recorded-capture demodulators (direwolf lineage, LoRea-style
+// backscatter receivers) are evaluated on:
+//
+//	tags, _ := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), 16, 20, 140, seed)
+//	src, _ := saiyan.NewTagTrafficSource(tags, 8)       // live generated traffic
+//	cfg := saiyan.DefaultPipelineConfig()
+//	cfg.Seed, cfg.DiscardResults = seed, true
+//	live, _ := saiyan.RecordTrace("run.trace.gz", cfg, src, false)
+//
+//	replayed, _ := saiyan.ReplayTrace("run.trace.gz", 0) // fresh pipeline, any worker count
+//	_, mismatches, _ := saiyan.VerifyTrace("run.trace.gz", 4)
+//	// replayed SER/PRR/detect == live, mismatches == 0
+//
+// The trace header carries the full demodulator configuration, the
+// pipeline seed, and the calibration quantum; every record carries the
+// transmitted symbols, RSS, the frame's noise-shard seed, and the decoded
+// decisions (optionally the rendered trajectory/envelope samples). Replay
+// therefore reconstructs the identical signal and thresholds regardless of
+// where or with how many workers the trace is replayed, and VerifyTrace
+// proves it against the recorded decisions.
+//
+// # Trace format and compatibility
+//
+// Traces are format version 1 (internal/trace has the byte-level
+// specification): a magic string and version, then CRC32-framed chunks —
+// a JSON header, one binary chunk per frame, and a trailing frame count —
+// optionally gzip-compressed (".gz" paths; readers sniff the content).
+// Compatibility policy: readers skip unknown chunk types whose CRC
+// verifies, so new chunk kinds can be added without a version bump;
+// unknown JSON header fields are ignored on read for the same reason. The
+// version number only changes when the chunk framing itself changes
+// incompatibly, and readers reject versions they do not know rather than
+// guessing. A file cut short of its trailer stays readable up to the cut
+// and then reports ErrTraceTruncated; flipped bits surface as
+// ErrTraceCorrupt, never as silently wrong samples.
 package saiyan

@@ -11,6 +11,7 @@
 package analog
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -102,6 +103,34 @@ func (s *SAWFilter) ResponseDB(fHz float64) float64 {
 // Gain returns the linear amplitude gain at fHz.
 func (s *SAWFilter) Gain(fHz float64) float64 {
 	return dsp.AmpFromDB(s.ResponseDB(fHz))
+}
+
+// sawFilterJSON is the serialized form of SAWFilter; trace headers embed the
+// full demodulator configuration, including a possibly non-default SAW
+// response, so the filter must round-trip through JSON.
+type sawFilterJSON struct {
+	Points  []SAWPoint `json:"points"`
+	DriftHz float64    `json:"drift_hz,omitempty"`
+}
+
+// MarshalJSON serializes the response anchors and drift.
+func (s *SAWFilter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sawFilterJSON{Points: s.points, DriftHz: s.driftHz})
+}
+
+// UnmarshalJSON rebuilds the filter, re-validating the anchors.
+func (s *SAWFilter) UnmarshalJSON(data []byte) error {
+	var j sawFilterJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	rebuilt, err := NewSAWFilter(j.Points)
+	if err != nil {
+		return err
+	}
+	rebuilt.driftHz = j.DriftHz
+	*s = *rebuilt
+	return nil
 }
 
 // CriticalBandTopHz is the frequency where the Figure 5 response peaks.

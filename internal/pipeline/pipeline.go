@@ -15,6 +15,11 @@
 // Config.CalibrationQuantumDB, a master demodulator is calibrated once per
 // quantum in a shared cache, and each worker clones the master so frames
 // from the same distance ring never pay calibration twice.
+//
+// Workloads arrive through the pull-based Source interface (Run): live
+// simulated traffic (NewTagSetSource) and recorded traces
+// (NewTraceSource / Replay) demodulate through the identical machinery,
+// and any run can capture what it demodulated with the Record tee.
 package pipeline
 
 import (
@@ -29,6 +34,7 @@ import (
 	"saiyan/internal/core"
 	"saiyan/internal/dsp"
 	"saiyan/internal/lora"
+	"saiyan/internal/trace"
 )
 
 // Config assembles a demodulation pipeline.
@@ -112,6 +118,12 @@ type Job struct {
 	// the pipeline scores symbol errors and packet correctness into Stats
 	// and the Result.
 	Want []int
+	// NoiseSeeded overrides the per-frame RNG shard key with NoiseSeed
+	// instead of the submission sequence number. Replay sources set it to
+	// the recorded shard so a trace reproduces its noise realization
+	// exactly, even when replaying a subset of the original run.
+	NoiseSeeded bool
+	NoiseSeed   uint64
 }
 
 // Result is the demodulation outcome of one Job.
@@ -151,6 +163,15 @@ type Pipeline struct {
 	// master demodulator that workers clone on first use.
 	calMu    sync.Mutex
 	calCache map[float64]*core.Demodulator
+
+	// Record tee (attached with Record before traffic starts): workers
+	// push every processed frame onto recCh and a single recorder
+	// goroutine writes them to recW in sequence order.
+	recW       *trace.Writer
+	recSamples bool
+	recCh      chan recItem
+	recWG      sync.WaitGroup
+	recErr     error // recorder's first write error; read after recWG.Wait
 
 	seq     atomic.Uint64
 	drained atomic.Bool
@@ -246,9 +267,11 @@ func (p *Pipeline) Results() <-chan Result {
 }
 
 // Drain closes the submission side, waits for every in-flight batch to
-// finish, closes Results, freezes the throughput clock, and returns the
-// final Stats. Drain is idempotent; concurrent readers of Results see the
-// channel close after the last result.
+// finish, flushes the record tee (if attached), closes Results, freezes
+// the throughput clock, and returns the final Stats. Drain is idempotent;
+// concurrent readers of Results see the channel close after the last
+// result. Drain does not Close an attached trace.Writer — the caller that
+// attached it finalizes the file.
 func (p *Pipeline) Drain() Stats {
 	p.once.Do(func() {
 		p.submitMu.Lock()
@@ -256,12 +279,133 @@ func (p *Pipeline) Drain() Stats {
 		close(p.jobs)
 		p.submitMu.Unlock()
 		p.wg.Wait()
+		if p.recCh != nil {
+			close(p.recCh)
+			p.recWG.Wait()
+		}
 		if start := p.startNano.Load(); start != 0 {
 			p.elapsed.Store(time.Now().UnixNano() - start)
 		}
 		close(p.results)
 	})
 	return p.Stats()
+}
+
+// TeeErr reports the first error the record tee hit while writing, or nil.
+// It is meaningful after Drain.
+func (p *Pipeline) TeeErr() error { return p.recErr }
+
+// TraceHeader builds the trace metadata describing this pipeline: the
+// normalized demodulator configuration, the seed, and the calibration
+// quantum — everything a replay needs to reproduce the run bit-exactly.
+// Callers may add link metadata and a description before passing it to a
+// trace writer.
+func (p *Pipeline) TraceHeader() trace.Header {
+	return trace.Header{
+		Demod:                p.cfg.Demod,
+		Seed:                 p.cfg.Seed,
+		CalibrationQuantumDB: p.cfg.CalibrationQuantumDB,
+	}
+}
+
+// recItem carries one processed frame from a worker to the recorder; rec
+// is nil for frames that cannot be recorded (no frame payload), which
+// still advance the sequence cursor. err marks a frame the tee must
+// refuse (e.g. mismatched LoRa parameters).
+type recItem struct {
+	seq uint64
+	rec *trace.Record
+	err error
+}
+
+// Record attaches a trace tee: every frame subsequently processed is
+// written to w in submission-sequence order, together with the decoded
+// decisions (and, when samples is set, the rendered frequency trajectory
+// and envelope). Record must be called after New and before the first
+// Submit; the pipeline flushes the tee during Drain but does not Close w.
+func (p *Pipeline) Record(w *trace.Writer, samples bool) error {
+	if w == nil {
+		return errors.New("pipeline: Record with nil writer")
+	}
+	if p.drained.Load() || p.startNano.Load() != 0 {
+		return errors.New("pipeline: Record after traffic started")
+	}
+	if p.recCh != nil {
+		return errors.New("pipeline: Record already attached")
+	}
+	p.recW = w
+	p.recSamples = samples
+	p.recCh = make(chan recItem, 4*p.cfg.Workers)
+	p.recWG.Add(1)
+	go p.recorder()
+	return nil
+}
+
+// record captures one processed frame for the tee. Frames whose LoRa
+// parameters differ from the pipeline's configured Params are refused:
+// replay rebuilds every frame from the header's parameters, so recording
+// a foreign-parameter frame would produce a trace that silently cannot
+// replay bit-exactly.
+func (p *Pipeline) record(j job, res Result, sc *core.FrameScratch, nseed uint64) (*trace.Record, error) {
+	if j.Frame == nil {
+		return nil, nil
+	}
+	if j.Frame.Params != p.cfg.Demod.Params {
+		return nil, fmt.Errorf("pipeline: recording frame %d with params %v, pipeline configured for %v",
+			j.seq, j.Frame.Params, p.cfg.Demod.Params)
+	}
+	rec := &trace.Record{
+		Seq:       j.seq,
+		Tag:       j.Tag,
+		RSSDBm:    j.RSSDBm,
+		NoiseSeed: nseed,
+		Payload:   trace.SymbolsToU16(j.Frame.Payload),
+		Want:      trace.SymbolsToU16(j.Want),
+		Detected:  res.Detected,
+	}
+	if res.Err == nil {
+		rec.HasDecoded = true
+		rec.Decoded = trace.SymbolsToU16(res.Symbols)
+		if rec.Decoded == nil {
+			rec.Decoded = []uint16{}
+		}
+	}
+	if p.recSamples {
+		// The scratch buffers are recycled across frames; snapshot them.
+		rec.Traj = append([]float64(nil), sc.Traj...)
+		rec.Env = append([]float64(nil), sc.Env...)
+	}
+	return rec, nil
+}
+
+// recorder is the tee's single writer: it reorders items back into
+// submission-sequence order (workers finish out of order) and streams them
+// to the trace writer, so a recorded file is deterministic for a fixed
+// seed regardless of worker count.
+func (p *Pipeline) recorder() {
+	defer p.recWG.Done()
+	pending := make(map[uint64]recItem)
+	var next uint64
+	for it := range p.recCh {
+		pending[it.seq] = it
+		for {
+			it, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if it.err != nil && p.recErr == nil {
+				p.recErr = it.err
+			}
+			if it.rec == nil || p.recErr != nil {
+				continue
+			}
+			if err := p.recW.WriteRecord(it.rec); err != nil {
+				p.recErr = err
+			}
+		}
+	}
 }
 
 // Stats returns a snapshot of the aggregate counters. The elapsed clock
@@ -305,6 +449,14 @@ func (p *Pipeline) worker() {
 // process demodulates one frame and publishes its result and counters.
 func (p *Pipeline) process(demods map[float64]*core.Demodulator, sc *core.FrameScratch, j job) {
 	res := Result{Tag: j.Tag, Seq: j.seq, SymbolErrs: -1}
+	// The noise shard is keyed by the frame's global sequence number (or
+	// the job's explicit override during replay), never by worker
+	// identity, so reassigning frames across a different worker count
+	// cannot perturb the stream.
+	nseed := j.seq
+	if j.NoiseSeeded {
+		nseed = j.NoiseSeed
+	}
 	if j.Frame == nil {
 		res.Err = errors.New("pipeline: nil frame")
 	} else {
@@ -314,12 +466,13 @@ func (p *Pipeline) process(demods map[float64]*core.Demodulator, sc *core.FrameS
 			d = p.master(q).Clone()
 			demods[q] = d
 		}
-		// The noise shard is keyed by the frame's global sequence number,
-		// never by worker identity, so reassigning frames across a
-		// different worker count cannot perturb the stream.
-		rng := dsp.NewRand(p.cfg.Seed, j.seq)
+		rng := dsp.NewRand(p.cfg.Seed, nseed)
 		res.Symbols, res.Detected, res.Err = d.ProcessFrameScratch(j.Frame, j.RSSDBm, rng, sc)
 		p.simSamples.Add(uint64(sc.Rendered))
+	}
+	if p.recCh != nil {
+		rec, recErr := p.record(j, res, sc, nseed)
+		p.recCh <- recItem{seq: j.seq, rec: rec, err: recErr}
 	}
 
 	p.framesOut.Add(1)

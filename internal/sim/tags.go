@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"saiyan/internal/dsp"
@@ -69,4 +70,44 @@ func (ts *TagSet) Frame(tag int, seq uint64) (*lora.Frame, []int, error) {
 		return nil, nil, err
 	}
 	return f, payload, nil
+}
+
+// Traffic is a pull-based round-robin schedule over a TagSet: frame 0 from
+// every tag in placement order, then frame 1, and so on for framesPerTag
+// rounds — the delivery order of a slotted downlink schedule. It is the
+// live counterpart of a trace.Reader-backed source: both feed the
+// demodulation pipeline one frame at a time.
+type Traffic struct {
+	ts           *TagSet
+	framesPerTag int
+	at           int
+}
+
+// NewTraffic builds the schedule. framesPerTag must be positive.
+func (ts *TagSet) NewTraffic(framesPerTag int) (*Traffic, error) {
+	if framesPerTag < 1 {
+		return nil, fmt.Errorf("sim: frames per tag %d < 1", framesPerTag)
+	}
+	return &Traffic{ts: ts, framesPerTag: framesPerTag}, nil
+}
+
+// Len returns the total number of frames the schedule will deliver.
+func (tr *Traffic) Len() int { return len(tr.ts.Tags) * tr.framesPerTag }
+
+// Next returns the next scheduled frame: the transmitting tag, the frame's
+// per-tag sequence number, the frame itself, and the payload ground truth.
+// It returns io.EOF once the schedule is exhausted.
+func (tr *Traffic) Next() (SimTag, uint64, *lora.Frame, []int, error) {
+	if tr.at >= tr.Len() {
+		return SimTag{}, 0, nil, nil, io.EOF
+	}
+	n := len(tr.ts.Tags)
+	round := uint64(tr.at / n)
+	tag := tr.ts.Tags[tr.at%n]
+	tr.at++
+	frame, want, err := tr.ts.Frame(tag.ID, round)
+	if err != nil {
+		return SimTag{}, 0, nil, nil, err
+	}
+	return tag, round, frame, want, nil
 }

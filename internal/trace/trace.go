@@ -1,0 +1,344 @@
+// Package trace implements a persistent, versioned recording format for
+// demodulation workloads: the configuration and link metadata of a run plus
+// a stream of per-frame records (transmitted symbols, received signal
+// strength, noise seed, the demodulator's decisions, and optionally the
+// rendered frequency trajectory and envelope samples).
+//
+// A trace decouples signal generation from demodulation: any pipeline run
+// can capture what it demodulated, ship the file elsewhere, and be
+// re-demodulated later — bit-exactly, because the header carries the
+// calibration seed and every record carries its noise-shard seed. Traces
+// are the substrate for offline regression workloads (the golden trace
+// under internal/pipeline/testdata) and the natural ingest point for future
+// real-capture backends, which would populate the sample sections instead
+// of the symbol ground truth.
+//
+// # Format (version 1)
+//
+// A trace is a magic string, a format version, and a sequence of CRC-framed
+// chunks, optionally wrapped in gzip (writers compress when the file name
+// ends in ".gz"; readers sniff the gzip magic and decompress transparently):
+//
+//	file    := magic(8) version(u32) chunk*
+//	magic   := "SAIYTRC\x00"
+//	chunk   := type(u8) length(u32) payload(length bytes) crc32(u32)
+//
+// All integers are little-endian. The CRC-32 (IEEE) covers the type byte,
+// the length field, and the payload, so every byte after the version field
+// is integrity-checked. Chunk types:
+//
+//	1  header  — JSON-encoded Header; must be the first chunk
+//	2  frame   — one binary Record (see encodeRecord)
+//	3  trailer — u64 frame count; must be the last chunk
+//
+// Readers skip unknown chunk types whose CRC verifies, so minor additions
+// stay backward compatible; the version number only changes when the chunk
+// framing itself changes, and readers reject versions they do not know. A
+// file that ends before its trailer is truncated: Next returns ErrTruncated
+// after delivering every complete record, so a partial capture remains
+// usable while the damage stays visible.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"saiyan/internal/core"
+	"saiyan/internal/radio"
+)
+
+// Version is the trace format version this package reads and writes.
+const Version = 1
+
+// magic identifies a trace stream (after optional gzip decompression).
+const magic = "SAIYTRC\x00"
+
+// Chunk types.
+const (
+	chunkHeader  = 1
+	chunkFrame   = 2
+	chunkTrailer = 3
+)
+
+// maxChunkBytes bounds a single chunk payload (64 MiB), protecting readers
+// of corrupt or adversarial files from unbounded allocations.
+const maxChunkBytes = 64 << 20
+
+// Sentinel errors. Reader methods wrap these with positional detail;
+// test with errors.Is.
+var (
+	// ErrCorrupt marks structural damage: bad magic, a CRC mismatch, an
+	// impossible length field, or a malformed record.
+	ErrCorrupt = errors.New("trace: corrupt")
+	// ErrTruncated marks a stream that ended before its trailer chunk;
+	// records read before the cut remain valid.
+	ErrTruncated = errors.New("trace: truncated")
+	// ErrVersion marks a format version this package does not understand.
+	ErrVersion = errors.New("trace: unsupported version")
+)
+
+// Header is the trace-wide metadata, serialized as JSON in the first chunk.
+// It carries everything needed to rebuild the demodulation pipeline that
+// produced (or should replay) the recording.
+type Header struct {
+	// Demod is the full demodulator configuration of the recording run,
+	// normalized (defaults filled in) so replay rebuilds an identical chain.
+	Demod core.Config `json:"demod"`
+
+	// Seed is the pipeline seed: calibration noise is drawn from it per
+	// distance quantum, and per-frame noise from (Seed, Record.NoiseSeed).
+	Seed uint64 `json:"seed"`
+
+	// CalibrationQuantumDB is the per-distance threshold-table granularity
+	// of the recording pipeline.
+	CalibrationQuantumDB float64 `json:"calibration_quantum_db,omitempty"`
+
+	// Link optionally records the link budget the traffic was generated
+	// under — metadata for provenance, not needed for replay.
+	Link *radio.LinkBudget `json:"link,omitempty"`
+
+	// Description is free-form provenance ("field capture site B", ...).
+	Description string `json:"description,omitempty"`
+
+	// CreatedUnix optionally timestamps the capture (seconds since epoch).
+	// Writers leave it zero unless told otherwise so regenerated traces
+	// stay byte-identical.
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// Record is one demodulated frame. Payload carries the transmitted symbols
+// (enough to re-render the frame for replay); Want carries the scoring
+// ground truth when the recording run had one; Decoded/Detected carry the
+// recording run's decisions so replays can be verified bit-exactly; Traj
+// and Env optionally carry the rendered simulation-rate frequency
+// trajectory and sampler-rate envelope.
+type Record struct {
+	Seq       uint64  // submission sequence number in the recording run
+	Tag       int     // transmitting tag id
+	RSSDBm    float64 // received signal strength
+	NoiseSeed uint64  // per-frame RNG shard: dsp.NewRand(Header.Seed, NoiseSeed)
+
+	Payload []uint16 // transmitted payload symbols
+	Want    []uint16 // scoring ground truth (nil: none recorded)
+
+	Detected   bool     // recording run found the preamble
+	HasDecoded bool     // recording run captured its decisions
+	Decoded    []uint16 // decoded symbols (empty when the preamble was missed)
+
+	Traj []float64 // rendered frequency trajectory, simulation rate (optional)
+	Env  []float64 // rendered envelope, sampler rate (optional)
+}
+
+// Record flag bits.
+const (
+	flagHasWant    = 1 << 0
+	flagDetected   = 1 << 1
+	flagHasDecoded = 1 << 2
+)
+
+// encodeRecord appends the binary form of r to dst:
+//
+//	seq(u64) tag(i32) rss(f64) noiseSeed(u64) flags(u8)
+//	payload(u32 count + u16*)  want(u32 + u16*, only if flagHasWant)
+//	decoded(u32 + u16*, only if flagHasDecoded)
+//	traj(u32 + f64*)  env(u32 + f64*)
+func encodeRecord(dst []byte, r *Record) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(r.Tag)))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(r.RSSDBm))
+	dst = binary.LittleEndian.AppendUint64(dst, r.NoiseSeed)
+	var flags byte
+	if r.Want != nil {
+		flags |= flagHasWant
+	}
+	if r.Detected {
+		flags |= flagDetected
+	}
+	if r.HasDecoded {
+		flags |= flagHasDecoded
+	}
+	dst = append(dst, flags)
+	dst = appendU16s(dst, r.Payload)
+	if r.Want != nil {
+		dst = appendU16s(dst, r.Want)
+	}
+	if r.HasDecoded {
+		dst = appendU16s(dst, r.Decoded)
+	}
+	dst = appendF64s(dst, r.Traj)
+	dst = appendF64s(dst, r.Env)
+	return dst
+}
+
+func appendU16s(dst []byte, vals []uint16) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint16(dst, v)
+	}
+	return dst
+}
+
+func appendF64s(dst []byte, vals []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vals)))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// decoder is a bounds-checked cursor over one chunk payload.
+type decoder struct {
+	buf []byte
+	at  int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.at+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: record field overruns chunk (%d+%d > %d)", ErrCorrupt, d.at, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.at : d.at+n]
+	d.at += n
+	return b
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// count reads an element count and validates it against the bytes left in
+// the chunk BEFORE any int conversion or multiplication, so a hostile
+// count (e.g. 2^31 on a 32-bit platform) yields ErrCorrupt, never an
+// overflowed bounds check or panic.
+func (d *decoder) count(elemBytes int) int {
+	n := d.u32()
+	if d.err != nil {
+		return 0
+	}
+	if uint64(n)*uint64(elemBytes) > uint64(len(d.buf)-d.at) {
+		d.err = fmt.Errorf("%w: %d elements of %d bytes overrun chunk (%d bytes left)",
+			ErrCorrupt, n, elemBytes, len(d.buf)-d.at)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) u16s() []uint16 {
+	n := d.count(2)
+	if n == 0 {
+		return nil
+	}
+	b := d.take(2 * n)
+	if b == nil {
+		return nil
+	}
+	vals := make([]uint16, n)
+	for i := range vals {
+		vals[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return vals
+}
+
+func (d *decoder) f64s() []float64 {
+	n := d.count(8)
+	if n == 0 {
+		return nil
+	}
+	b := d.take(8 * n)
+	if b == nil {
+		return nil
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return vals
+}
+
+// decodeRecord parses one frame-chunk payload.
+func decodeRecord(buf []byte) (*Record, error) {
+	d := &decoder{buf: buf}
+	r := &Record{
+		Seq:       d.u64(),
+		Tag:       int(int32(d.u32())),
+		RSSDBm:    math.Float64frombits(d.u64()),
+		NoiseSeed: d.u64(),
+	}
+	flags := d.u8()
+	r.Detected = flags&flagDetected != 0
+	r.HasDecoded = flags&flagHasDecoded != 0
+	r.Payload = d.u16s()
+	if flags&flagHasWant != 0 {
+		r.Want = d.u16s()
+		if r.Want == nil && d.err == nil {
+			r.Want = []uint16{}
+		}
+	}
+	if r.HasDecoded {
+		r.Decoded = d.u16s()
+		if r.Decoded == nil && d.err == nil {
+			r.Decoded = []uint16{}
+		}
+	}
+	r.Traj = d.f64s()
+	r.Env = d.f64s()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.at != len(buf) {
+		return nil, fmt.Errorf("%w: %d stray bytes after record", ErrCorrupt, len(buf)-d.at)
+	}
+	return r, nil
+}
+
+// SymbolsToU16 converts decoded/payload symbol slices to the on-disk width.
+// Symbols are downlink alphabet indices (< 2^K <= 2^12), so uint16 is wide
+// enough for every valid LoRa configuration.
+func SymbolsToU16(symbols []int) []uint16 {
+	if symbols == nil {
+		return nil
+	}
+	out := make([]uint16, len(symbols))
+	for i, s := range symbols {
+		out[i] = uint16(s)
+	}
+	return out
+}
+
+// SymbolsFromU16 converts on-disk symbols back to the in-memory form.
+func SymbolsFromU16(symbols []uint16) []int {
+	if symbols == nil {
+		return nil
+	}
+	out := make([]int, len(symbols))
+	for i, s := range symbols {
+		out[i] = int(s)
+	}
+	return out
+}

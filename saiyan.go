@@ -14,6 +14,7 @@ import (
 	"saiyan/internal/pipeline"
 	"saiyan/internal/radio"
 	"saiyan/internal/sim"
+	"saiyan/internal/trace"
 )
 
 // Core demodulator types (the paper's contribution).
@@ -150,6 +151,110 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return pipeline.New(cf
 // and payloads are deterministic in (seed, tag, sequence).
 func NewTagSet(p Params, budget LinkBudget, n int, minM, maxM float64, seed uint64) (*TagSet, error) {
 	return sim.NewTagSet(p, budget, n, minM, maxM, seed)
+}
+
+// Trace capture & replay types. A trace is a persistent recording of a
+// demodulation workload — configuration, per-frame symbols, noise seeds,
+// and the demodulator's decisions — that can be shipped and re-demodulated
+// later, bit-exactly. See internal/trace for the format specification.
+type (
+	// TraceHeader is the trace-wide metadata: demodulator configuration,
+	// seed, calibration quantum, optional link provenance.
+	TraceHeader = trace.Header
+	// TraceRecord is one recorded frame.
+	TraceRecord = trace.Record
+	// TraceReader streams records out of a trace (gzip auto-detected).
+	TraceReader = trace.Reader
+	// TraceWriter streams records into a trace.
+	TraceWriter = trace.Writer
+	// PipelineSource supplies frames to Pipeline.Run, one at a time.
+	PipelineSource = pipeline.Source
+)
+
+// Trace error sentinels; test with errors.Is.
+var (
+	// ErrTraceCorrupt marks CRC or structural damage in a trace.
+	ErrTraceCorrupt = trace.ErrCorrupt
+	// ErrTraceTruncated marks a trace cut short of its trailer; records
+	// before the cut remain readable.
+	ErrTraceTruncated = trace.ErrTruncated
+	// ErrTraceVersion marks a trace whose format version this build does
+	// not understand.
+	ErrTraceVersion = trace.ErrVersion
+)
+
+// OpenTrace opens a recorded trace for reading; gzip compression is
+// detected from the content.
+func OpenTrace(path string) (*TraceReader, error) { return trace.Open(path) }
+
+// CreateTrace starts a new trace file (gzip-compressed when path ends in
+// ".gz"). Most callers use RecordTrace instead; CreateTrace is the
+// low-level hook for custom writers.
+func CreateTrace(path string, hdr TraceHeader) (*TraceWriter, error) { return trace.Create(path, hdr) }
+
+// NewTagTrafficSource schedules framesPerTag live frames from every tag of
+// ts, round-robin, for Pipeline.Run or RecordTrace.
+func NewTagTrafficSource(ts *TagSet, framesPerTag int) (PipelineSource, error) {
+	return pipeline.NewTagSetSource(ts, framesPerTag)
+}
+
+// NewTraceSource replays the records of an open trace as pipeline jobs,
+// pinning each frame's recorded noise shard.
+func NewTraceSource(r *TraceReader) PipelineSource { return pipeline.NewTraceSource(r) }
+
+// RecordTrace runs src through a pipeline configured by cfg while
+// recording every demodulated frame — transmitted symbols, RSS, noise
+// seed, and the decoded decisions — to path (gzip when it ends in ".gz").
+// withSamples additionally captures the rendered frequency trajectory and
+// envelope of every frame (large). It returns the run's aggregate Stats.
+func RecordTrace(path string, cfg PipelineConfig, src PipelineSource, withSamples bool) (PipelineStats, error) {
+	p, err := pipeline.New(cfg)
+	if err != nil {
+		return PipelineStats{}, err
+	}
+	w, err := trace.Create(path, p.TraceHeader())
+	if err != nil {
+		p.Drain()
+		return PipelineStats{}, err
+	}
+	if err := p.Record(w, withSamples); err != nil {
+		p.Drain()
+		w.Abort()
+		return PipelineStats{}, err
+	}
+	st, err := p.Run(src)
+	if err != nil {
+		// Leave the trace deliberately truncated (no trailer): the frames
+		// captured before the failure stay readable, but the file reports
+		// ErrTraceTruncated instead of passing for a complete capture.
+		w.Abort()
+		return st, err
+	}
+	return st, w.Close()
+}
+
+// ReplayTrace re-demodulates a recorded trace through a fresh pipeline
+// built from the trace's own header. workers <= 0 uses one per CPU; the
+// decoded stream is identical at any worker count.
+func ReplayTrace(path string, workers int) (PipelineStats, error) {
+	r, err := trace.Open(path)
+	if err != nil {
+		return PipelineStats{}, err
+	}
+	defer r.Close()
+	return pipeline.Replay(r, workers)
+}
+
+// VerifyTrace replays a recorded trace and compares every decode against
+// the decisions stored in it, returning the replay Stats and the number of
+// frames that diverged (0 for a healthy trace).
+func VerifyTrace(path string, workers int) (PipelineStats, int, error) {
+	r, err := trace.Open(path)
+	if err != nil {
+		return PipelineStats{}, 0, err
+	}
+	defer r.Close()
+	return pipeline.VerifyReplay(r, workers)
 }
 
 // Experiment harness types.

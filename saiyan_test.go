@@ -2,6 +2,10 @@ package saiyan_test
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -156,6 +160,159 @@ func TestNetworkFacade(t *testing.T) {
 	}
 	if rate := n.DeliveryRate(); rate < 0.9 {
 		t.Errorf("delivery rate = %g, want > 0.9 with feedback", rate)
+	}
+}
+
+func TestFacadeRecordReplay(t *testing.T) {
+	// Record a small live workload through the facade, then replay and
+	// verify it reproduces the recorded decisions bit-exactly.
+	path := filepath.Join(t.TempDir(), "facade.trace.gz")
+	tags, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), 3, 20, 90, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := saiyan.NewTagTrafficSource(tags, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := saiyan.DefaultPipelineConfig()
+	cfg.Seed = 7
+	cfg.Workers = 2
+	cfg.DiscardResults = true
+	live, err := saiyan.RecordTrace(path, cfg, src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.FramesOut != 6 {
+		t.Fatalf("recorded %d frames, want 6", live.FramesOut)
+	}
+
+	replayed, err := saiyan.ReplayTrace(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.SER() != live.SER() || replayed.PRR() != live.PRR() ||
+		replayed.DetectRate() != live.DetectRate() || replayed.FramesOut != live.FramesOut {
+		t.Errorf("replay stats diverged:\nlive:   %v\nreplay: %v", live, replayed)
+	}
+
+	st, mismatches, err := saiyan.VerifyTrace(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatches != 0 {
+		t.Errorf("%d of %d replayed frames diverged from the recorded decisions", mismatches, st.FramesOut)
+	}
+
+	// The low-level reader sees the same frames and metadata.
+	r, err := saiyan.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if hdr := r.Header(); hdr.Seed != 7 {
+		t.Errorf("trace header seed = %d, want 7", hdr.Seed)
+	}
+	n := uint64(0)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != n {
+			t.Errorf("record %d carries seq %d", n, rec.Seq)
+		}
+		n++
+	}
+	if n != live.FramesOut {
+		t.Errorf("trace holds %d records, live run processed %d", n, live.FramesOut)
+	}
+
+	// Truncation is loud, not silent.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutPath := filepath.Join(t.TempDir(), "cut.trace.gz")
+	if err := os.WriteFile(cutPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := saiyan.ReplayTrace(cutPath, 1); err == nil {
+		t.Error("replaying a truncated trace succeeded silently")
+	}
+}
+
+// failingSource yields a few good frames, then an error — simulating a
+// capture that dies mid-run.
+type failingSource struct {
+	inner saiyan.PipelineSource
+	left  int
+}
+
+func (s *failingSource) Next() (saiyan.PipelineJob, error) {
+	if s.left == 0 {
+		return saiyan.PipelineJob{}, errors.New("capture source died")
+	}
+	s.left--
+	return s.inner.Next()
+}
+
+// TestFacadeRecordTraceAbortsOnFailure verifies a failed RecordTrace run
+// leaves a deliberately truncated trace: the frames captured before the
+// failure stay readable, but the file can never pass for a complete
+// capture.
+func TestFacadeRecordTraceAbortsOnFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "failed.trace.gz")
+	tags, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), 2, 20, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := saiyan.NewTagTrafficSource(tags, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := saiyan.DefaultPipelineConfig()
+	cfg.Seed = 7
+	cfg.DiscardResults = true
+	if _, err := saiyan.RecordTrace(path, cfg, &failingSource{inner: inner, left: 3}, false); err == nil {
+		t.Fatal("RecordTrace with a dying source succeeded")
+	}
+
+	r, err := saiyan.OpenTrace(path)
+	if err != nil {
+		t.Fatalf("frames captured before the failure should stay readable: %v", err)
+	}
+	defer r.Close()
+	n := 0
+	var lastErr error
+	for {
+		if _, err := r.Next(); err != nil {
+			lastErr = err
+			break
+		}
+		n++
+	}
+	if !errors.Is(lastErr, saiyan.ErrTraceTruncated) {
+		t.Errorf("aborted capture drained with %v, want ErrTraceTruncated", lastErr)
+	}
+	if n != 3 {
+		t.Errorf("aborted capture holds %d records, want the 3 processed before the failure", n)
+	}
+	if _, _, err := saiyan.VerifyTrace(path, 2); !errors.Is(err, saiyan.ErrTraceTruncated) {
+		t.Errorf("VerifyTrace on aborted capture: err=%v, want ErrTraceTruncated", err)
+	}
+}
+
+func TestFacadeTraceErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.trace")
+	if err := os.WriteFile(path, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := saiyan.OpenTrace(path); !errors.Is(err, saiyan.ErrTraceCorrupt) {
+		t.Errorf("junk file: err=%v, want ErrTraceCorrupt", err)
 	}
 }
 
