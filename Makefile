@@ -23,6 +23,8 @@ bench-json:
 	$(GO) test -bench=. -benchtime=1x ./... > bench.txt
 	@cat bench.txt
 	$(GO) run ./cmd/benchjson < bench.txt > BENCH_pipeline.json
+	grep -E '^(goos|goarch|cpu|pkg):|^BenchmarkStream' bench.txt \
+		| $(GO) run ./cmd/benchjson > BENCH_stream.json
 
 # Replay the checked-in golden trace (blocking in CI); regenerate it after
 # an intentional demodulator behavior change with:

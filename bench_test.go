@@ -164,6 +164,51 @@ func BenchmarkPipeline1Worker32Tags(b *testing.B)  { benchPipeline(b, 1, 32) }
 func BenchmarkPipeline4Workers32Tags(b *testing.B) { benchPipeline(b, 4, 32) }
 func BenchmarkPipeline8Workers32Tags(b *testing.B) { benchPipeline(b, 8, 32) }
 
+// Stream benchmarks: the continuous-capture receive path — preamble
+// hunting over raw envelope samples plus window decoding on the worker
+// pool. The capture is rendered once outside the timer; each iteration
+// segments and demodulates it from scratch, reporting end-to-end frame
+// recovery throughput and the raw segmentation rate in capture samples.
+
+func benchStream(b *testing.B, workers, tags int) {
+	const framesPerTag = 4
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 100, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capture, err := saiyan.RenderTimeline(ts, saiyan.DefaultConfig(), saiyan.TimelineConfig{FramesPerTag: framesPerTag})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pcfg := saiyan.DefaultPipelineConfig()
+	pcfg.Workers = workers
+	pcfg.Seed = 7
+	pcfg.DiscardResults = true
+	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last saiyan.StreamStats
+	for i := 0; i < b.N; i++ {
+		st, err := saiyan.DemodulateStream(pcfg, scfg, capture, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.WindowsEmitted == 0 {
+			b.Fatal("segmentation emitted no windows")
+		}
+		last = st
+	}
+	b.ReportMetric(last.FramesPerSec(), "frames/s")
+	b.ReportMetric(last.SamplesPerSec()/1e6, "Msamples/s")
+	b.ReportMetric(100*last.Recovery(), "recovery%")
+}
+
+func BenchmarkStream1Worker4Tags(b *testing.B)   { benchStream(b, 1, 4) }
+func BenchmarkStream4Workers4Tags(b *testing.B)  { benchStream(b, 4, 4) }
+func BenchmarkStream1Worker16Tags(b *testing.B)  { benchStream(b, 1, 16) }
+func BenchmarkStream4Workers16Tags(b *testing.B) { benchStream(b, 4, 16) }
+func BenchmarkStream8Workers16Tags(b *testing.B) { benchStream(b, 8, 16) }
+
 // Component-level microbenchmarks: the per-stage costs a porting effort
 // would care about.
 

@@ -84,6 +84,34 @@
 // where or with how many workers the trace is replayed, and VerifyTrace
 // proves it against the recorded decisions.
 //
+// # Continuous-stream reception
+//
+// Every workload above consumes pre-cut frames with oracle boundaries. A
+// deployed receiver consumes an unbroken envelope stream and must *find*
+// packets in it first — the paper's Section 3.2 packet detection. The
+// stream layer renders and demodulates exactly that workload:
+//
+//	capture, _ := saiyan.RenderTimeline(tags, saiyan.DefaultConfig(),
+//	    saiyan.TimelineConfig{FramesPerTag: 4}) // frames, idle gaps, one continuous envelope
+//	pcfg := saiyan.DefaultPipelineConfig()
+//	pcfg.Seed, pcfg.DiscardResults = seed, true
+//	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: seed}
+//	st, _ := saiyan.DemodulateStream(pcfg, scfg, capture, 256 /* chunk samples */)
+//	// st.Recovery(): scheduled frames decoded error-free
+//
+// RenderTimeline schedules every tag's frames along one timeline (idle
+// gaps, optional collisions) and renders the superposed antenna signal
+// through the analog chain in a single pass. The stream segmenter then
+// hunts preambles across arbitrary chunk deliveries — carrier-sense gate,
+// amplitude-gated correlation detection, symbol-aligned window extraction
+// with state carried across chunk boundaries — and feeds each extracted
+// window into the same worker pool as every other workload. Workers
+// bootstrap thresholds from the window's own preamble (AGC), re-sync on
+// the end of the preamble run (robust to the noise-degraded leading
+// chirp), and decode. Segmentation overlaps demodulation, and the outcome
+// is identical for any worker count and any chunk size. NewStreamSource
+// exposes the segmenting source directly for custom pipelines.
+//
 // # Trace format and compatibility
 //
 // Traces are format version 1 (internal/trace has the byte-level

@@ -102,6 +102,16 @@ func (d *Demodulator) nominalBias() float64 {
 // rendering.
 const templateNominalRSS = -40.0
 
+// autoBootstrap derives comparator thresholds from the leading half of the
+// preamble of an observed envelope via AutoCalibrate.
+func (d *Demodulator) autoBootstrap(env []float64, agc AGCConfig) {
+	boot := int(math.Round(d.spbSamp * lora.PreambleUpchirps / 2))
+	if boot > len(env) {
+		boot = len(env)
+	}
+	d.AutoCalibrate(env[:boot], agc)
+}
+
 // ProcessFrameAuto demodulates a frame with no prior calibration: it
 // renders the envelope, bootstraps thresholds from the leading preamble
 // portion via AGC, then detects and decodes as usual. This is the
@@ -109,27 +119,15 @@ const templateNominalRSS = -40.0
 func (d *Demodulator) ProcessFrameAuto(frame *lora.Frame, rssDBm float64, agc AGCConfig, rng *rand.Rand) ([]int, bool, error) {
 	traj := frame.FreqTrajectory(nil, d.fsSim)
 	env := d.RenderEnvelope(nil, traj, rssDBm, rng)
-	// Bootstrap from the first half of the preamble.
-	boot := int(math.Round(d.spbSamp * lora.PreambleUpchirps / 2))
-	if boot > len(env) {
-		boot = len(env)
-	}
-	d.AutoCalibrate(env[:boot], agc)
+	d.autoBootstrap(env, agc)
 	start, ok := d.DetectPreamble(env)
 	if !ok {
 		return nil, false, nil
 	}
 	payloadAt := start + int(math.Round((float64(lora.PreambleUpchirps)+lora.SyncSymbols)*d.spbSamp))
+	var envC []float64
 	if d.cfg.Mode == ModeFull {
-		envC := d.RenderCorrEnvelope(nil, traj, rssDBm, rng)
-		lo := payloadAt * d.cfg.CorrOversample
-		if lo >= len(envC) {
-			return nil, true, nil
-		}
-		return d.decodeByCorrelation(envC[lo:], len(frame.Payload)), true, nil
+		envC = d.RenderCorrEnvelope(nil, traj, rssDBm, rng)
 	}
-	if payloadAt >= len(env) {
-		return nil, true, nil
-	}
-	return d.decodeByPeakTracking(env[payloadAt:], len(frame.Payload)), true, nil
+	return d.decodePayloadAt(env, envC, payloadAt, len(frame.Payload))
 }

@@ -105,28 +105,38 @@ func (d *Demodulator) snrAmplitude(rssDBm float64) float64 {
 	return math.Sqrt(dsp.FromDB(rssDBm - noiseDBm))
 }
 
-// RenderEnvelope pushes an instantaneous-frequency trajectory (Hz offsets
-// above the LoRa carrier, at the simulation rate) through the configured
-// analog chain at the given RSS and returns the baseband envelope at the
-// sampler rate. Pass rng=nil for a noise-free reference render (used for
-// calibration and correlation templates).
-func (d *Demodulator) RenderEnvelope(dst []float64, trajHz []float64, rssDBm float64, rng *rand.Rand) []float64 {
-	n := len(trajHz)
+// ComposeSignal adds the SAW-shaped antenna signal of one transmission into
+// a composite simulation-rate buffer, starting at sample offset at. The SAW
+// filter is linear, so concurrent transmissions superpose: calling
+// ComposeSignal repeatedly with different trajectories, offsets, and signal
+// strengths builds the continuous antenna view of a whole multi-tag
+// timeline (frames, gaps, even colliding frames) that RenderStream then
+// pushes through the analog chain in one pass. Samples falling outside x
+// are clipped.
+func (d *Demodulator) ComposeSignal(x []complex128, at int, trajHz []float64, rssDBm float64) {
 	amp := d.snrAmplitude(rssDBm)
 	carrier := d.cfg.Params.CarrierHz
-
-	if cap(d.scratchIQ) < n {
-		d.scratchIQ = make([]complex128, n)
-	}
-	x := d.scratchIQ[:n]
 	saw := d.cfg.SAW
 	for i, f := range trajHz {
-		x[i] = complex(amp*saw.Gain(carrier+f), 0)
+		j := at + i
+		if j < 0 {
+			continue
+		}
+		if j >= len(x) {
+			break
+		}
+		x[j] += complex(amp*saw.Gain(carrier+f), 0)
 	}
-	if rng != nil {
-		dsp.AddComplexNoise(x, 1, rng)
-	}
+}
 
+// chainEnvelope pushes an antenna-level IQ series through the configured
+// analog chain — envelope detection, optionally cyclic-frequency shifting,
+// and the post-detection video filter — and returns the filtered envelope
+// at the simulation rate. The returned slice aliases the demodulator's
+// scratch buffers and is only valid until the next render; x is mutated in
+// place by the mixers.
+func (d *Demodulator) chainEnvelope(x []complex128, rng *rand.Rand) []float64 {
+	n := len(x)
 	env := d.cfg.Envelope
 	if cap(d.scratchEnv) < n {
 		d.scratchEnv = make([]float64, n)
@@ -163,8 +173,53 @@ func (d *Demodulator) RenderEnvelope(dst []float64, trajHz []float64, rssDBm flo
 
 	d.scratchBuf = d.lpf.Apply(d.scratchBuf, y)
 	y, d.scratchBuf = d.scratchBuf, y
+	return y
+}
 
+// RenderEnvelope pushes an instantaneous-frequency trajectory (Hz offsets
+// above the LoRa carrier, at the simulation rate) through the configured
+// analog chain at the given RSS and returns the baseband envelope at the
+// sampler rate. Pass rng=nil for a noise-free reference render (used for
+// calibration and correlation templates).
+func (d *Demodulator) RenderEnvelope(dst []float64, trajHz []float64, rssDBm float64, rng *rand.Rand) []float64 {
+	n := len(trajHz)
+	amp := d.snrAmplitude(rssDBm)
+	carrier := d.cfg.Params.CarrierHz
+
+	if cap(d.scratchIQ) < n {
+		d.scratchIQ = make([]complex128, n)
+	}
+	x := d.scratchIQ[:n]
+	saw := d.cfg.SAW
+	for i, f := range trajHz {
+		x[i] = complex(amp*saw.Gain(carrier+f), 0)
+	}
+	if rng != nil {
+		dsp.AddComplexNoise(x, 1, rng)
+	}
+	y := d.chainEnvelope(x, rng)
 	return d.sampler.SampleFloats(dst, y)
+}
+
+// RenderStream pushes a pre-composed antenna signal (see ComposeSignal)
+// through the analog chain once and decimates the filtered output to every
+// rate the receiver consumes: the comparator sampler stream, and — in
+// ModeFull — the correlator stream at CorrOversample times that rate. This
+// is how a continuous capture is rendered: one chain pass for the whole
+// timeline, so frames, idle gaps, and chunk boundaries all share a single
+// contiguous envelope with no per-frame filter edge transients. Front-end
+// noise of unit power is added when rng is non-nil; x is mutated in place.
+func (d *Demodulator) RenderStream(x []complex128, rng *rand.Rand) (env, envC []float64) {
+	if rng != nil {
+		dsp.AddComplexNoise(x, 1, rng)
+	}
+	y := d.chainEnvelope(x, rng)
+	env = d.sampler.SampleFloats(nil, y)
+	if d.cfg.Mode == ModeFull {
+		cs := analog.Sampler{Oversample: d.cfg.Oversample / d.cfg.CorrOversample}
+		envC = cs.SampleFloats(nil, y)
+	}
+	return env, envC
 }
 
 // RenderCorrEnvelope is RenderEnvelope at the correlator's higher sampling

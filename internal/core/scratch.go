@@ -52,17 +52,8 @@ func (d *Demodulator) ProcessFrameScratch(frame *lora.Frame, rssDBm float64, rng
 	if d.cfg.Mode == ModeFull {
 		s.EnvC = d.RenderCorrEnvelope(s.EnvC[:0], s.Traj, rssDBm, rng)
 		s.Rendered += len(s.Traj)
-		scale := d.cfg.CorrOversample
-		lo := payloadAt * scale
-		if lo >= len(s.EnvC) {
-			return nil, true, nil
-		}
-		return d.decodeByCorrelation(s.EnvC[lo:], len(frame.Payload)), true, nil
 	}
-	if payloadAt >= len(s.Env) {
-		return nil, true, nil
-	}
-	return d.decodeByPeakTracking(s.Env[payloadAt:], len(frame.Payload)), true, nil
+	return d.decodePayloadAt(s.Env, s.EnvC, payloadAt, len(frame.Payload))
 }
 
 // Clone returns an independent demodulator with the same configuration and

@@ -68,6 +68,12 @@ type Config struct {
 	// 1 dB; the paper's prototype likewise stores a discrete per-distance
 	// table rather than recalibrating per packet.
 	CalibrationQuantumDB float64
+
+	// AGC tunes the online threshold estimator used for stream jobs
+	// (Job.Env): extracted windows carry no distance information, so each
+	// worker bootstraps thresholds from the window's own preamble. The zero
+	// value uses core.DefaultAGCConfig.
+	AGC core.AGCConfig
 }
 
 // withDefaults fills zero fields and validates.
@@ -105,7 +111,11 @@ func DefaultConfig() Config {
 	return Config{Demod: core.DefaultConfig()}
 }
 
-// Job is one downlink frame awaiting demodulation.
+// Job is one downlink frame awaiting demodulation. Exactly one of Frame
+// (render-and-demodulate: the pipeline synthesizes the envelope from the
+// transmitted symbols and the RSS) or Env (stream decode: a segmenter
+// already extracted the envelope window from a continuous capture) must be
+// set.
 type Job struct {
 	// Tag identifies the transmitting tag; the pipeline passes it through
 	// to the Result untouched.
@@ -114,6 +124,18 @@ type Job struct {
 	Frame *lora.Frame
 	// RSSDBm is the received signal strength at the tag.
 	RSSDBm float64
+	// Env, when non-nil, is a pre-rendered sampler-rate envelope window
+	// beginning at the detected preamble start of one frame in a continuous
+	// capture. The worker decodes it directly via
+	// core.Demodulator.DecodeStreamWindow — thresholds bootstrapped from
+	// the window's own preamble — instead of rendering Frame. Stream jobs
+	// are not recordable by the trace tee (there is no transmitted frame to
+	// rebuild on replay); the tee skips them.
+	Env []float64
+	// EnvC is the matching correlator-rate window (ModeFull pipelines).
+	EnvC []float64
+	// NSymbols is the expected payload length of the Env window.
+	NSymbols int
 	// Want optionally carries the transmitted payload symbols; when set,
 	// the pipeline scores symbol errors and packet correctness into Stats
 	// and the Result.
@@ -163,6 +185,11 @@ type Pipeline struct {
 	// master demodulator that workers clone on first use.
 	calMu    sync.Mutex
 	calCache map[float64]*core.Demodulator
+
+	// Shared stream-decode master: prewarmed (bias cache + templates) but
+	// uncalibrated; workers clone it lazily and AutoCalibrate per window.
+	streamOnce   sync.Once
+	streamMaster *core.Demodulator
 
 	// Record tee (attached with Record before traffic starts): workers
 	// push every processed frame onto recCh and a single recorder
@@ -432,22 +459,44 @@ func (p *Pipeline) Stats() Stats {
 	}
 }
 
+// workerState is one worker's private demodulator pool: a clone per
+// calibration quantum for frame jobs, plus a single AGC-driven clone for
+// stream-window jobs.
+type workerState struct {
+	demods  map[float64]*core.Demodulator
+	streamD *core.Demodulator
+}
+
 // worker owns a private clone of each calibrated master it encounters and
 // processes batches until the queue closes.
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
-	demods := make(map[float64]*core.Demodulator)
+	ws := &workerState{demods: make(map[float64]*core.Demodulator)}
 	for batch := range p.jobs {
 		sc := p.scratch.Get().(*core.FrameScratch)
 		for _, j := range batch {
-			p.process(demods, sc, j)
+			p.process(ws, sc, j)
 		}
 		p.scratch.Put(sc)
 	}
 }
 
+// streamBase lazily builds the shared prewarmed master for stream decoding.
+func (p *Pipeline) streamBase() *core.Demodulator {
+	p.streamOnce.Do(func() {
+		d, err := core.New(p.cfg.Demod)
+		if err != nil {
+			// cfg.Demod was validated by New; this cannot happen.
+			panic("pipeline: demodulator config invalidated after New: " + err.Error())
+		}
+		d.PrewarmAuto()
+		p.streamMaster = d
+	})
+	return p.streamMaster
+}
+
 // process demodulates one frame and publishes its result and counters.
-func (p *Pipeline) process(demods map[float64]*core.Demodulator, sc *core.FrameScratch, j job) {
+func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job) {
 	res := Result{Tag: j.Tag, Seq: j.seq, SymbolErrs: -1}
 	// The noise shard is keyed by the frame's global sequence number (or
 	// the job's explicit override during replay), never by worker
@@ -457,18 +506,28 @@ func (p *Pipeline) process(demods map[float64]*core.Demodulator, sc *core.FrameS
 	if j.NoiseSeeded {
 		nseed = j.NoiseSeed
 	}
-	if j.Frame == nil {
-		res.Err = errors.New("pipeline: nil frame")
-	} else {
+	switch {
+	case j.Frame != nil:
 		q := p.quantize(j.RSSDBm)
-		d := demods[q]
+		d := ws.demods[q]
 		if d == nil {
 			d = p.master(q).Clone()
-			demods[q] = d
+			ws.demods[q] = d
 		}
 		rng := dsp.NewRand(p.cfg.Seed, nseed)
 		res.Symbols, res.Detected, res.Err = d.ProcessFrameScratch(j.Frame, j.RSSDBm, rng, sc)
 		p.simSamples.Add(uint64(sc.Rendered))
+	case j.Env != nil:
+		// Stream decode: the envelope already exists; nothing is rendered
+		// and no noise shard is drawn — the capture carries its own noise
+		// realization, so the decode is a pure function of the window and
+		// worker count cannot perturb it.
+		if ws.streamD == nil {
+			ws.streamD = p.streamBase().Clone()
+		}
+		res.Symbols, res.Detected, res.Err = ws.streamD.DecodeStreamWindow(j.Env, j.EnvC, j.NSymbols, p.cfg.AGC)
+	default:
+		res.Err = errors.New("pipeline: job with neither frame nor envelope window")
 	}
 	if p.recCh != nil {
 		rec, recErr := p.record(j, res, sc, nseed)

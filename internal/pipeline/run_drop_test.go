@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drainingSource yields frames until n are pulled, calling drain() right
+// before a chosen pull. Because Run pulls from a single goroutine, the
+// Drain lands at a deterministic point in the submission schedule.
+type drainingSource struct {
+	jobs    []Job
+	at      int
+	drainAt int
+	drain   func()
+}
+
+func (s *drainingSource) Next() (Job, error) {
+	if s.at == s.drainAt && s.drain != nil {
+		s.drain()
+		s.drain = nil
+	}
+	if s.at >= len(s.jobs) {
+		return Job{}, io.EOF
+	}
+	j := s.jobs[s.at]
+	s.at++
+	return j, nil
+}
+
+// TestRunCountsDroppedFrames pins the Run contract: when a mid-loop Submit
+// fails (Drain raced the run), the frames pulled from the source but never
+// submitted are counted in the returned error instead of vanishing.
+func TestRunCountsDroppedFrames(t *testing.T) {
+	jobs := testTraffic(t, 4, 5) // 20 frames, runBatch=8 -> batches of 8, 8, 4
+	cfg := DefaultConfig()
+	cfg.Seed = testSeed
+	cfg.Workers = 2
+	cfg.DiscardResults = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain after the first full batch is submitted but while the second is
+	// filling: the second batch (frames 8..15) is pulled, fails to submit,
+	// and must be reported dropped; the loop then stops pulling.
+	src := &drainingSource{jobs: jobs, drainAt: 10, drain: func() { p.Drain() }}
+	st, err := p.Run(src)
+	if err == nil {
+		t.Fatal("Run with a mid-loop Drain returned no error")
+	}
+	if !errors.Is(err, ErrDrained) {
+		t.Errorf("Run error = %v, want ErrDrained in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "8 frames") {
+		t.Errorf("Run error %q does not report the 8 dropped frames", err)
+	}
+	if st.FramesOut != 8 {
+		t.Errorf("frames processed = %d, want the 8 submitted before Drain", st.FramesOut)
+	}
+	if src.at != 16 {
+		t.Errorf("source pulled %d frames, want the loop to stop at 16 after the failed batch", src.at)
+	}
+}
+
+// TestRunCountsDroppedTailFlush covers the tail-flush path: a Drain landing
+// after the loop's last full batch leaves a partial batch that cannot be
+// flushed; those frames must be reported too.
+func TestRunCountsDroppedTailFlush(t *testing.T) {
+	jobs := testTraffic(t, 4, 3) // 12 frames: one full batch + 4-frame tail
+	cfg := DefaultConfig()
+	cfg.Seed = testSeed
+	cfg.Workers = 1
+	cfg.DiscardResults = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain on the final pull: the 8-frame batch went through, the 4-frame
+	// tail cannot be submitted.
+	src := &drainingSource{jobs: jobs, drainAt: 11, drain: func() { p.Drain() }}
+	st, err := p.Run(src)
+	if err == nil {
+		t.Fatal("Run with a tail-flush Drain returned no error")
+	}
+	if !errors.Is(err, ErrDrained) {
+		t.Errorf("Run error = %v, want ErrDrained in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "4 frames") {
+		t.Errorf("Run error %q does not report the 4 dropped tail frames", err)
+	}
+	if st.FramesOut != 8 {
+		t.Errorf("frames processed = %d, want 8", st.FramesOut)
+	}
+}

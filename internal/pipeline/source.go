@@ -32,8 +32,12 @@ const runBatch = 8
 // final Stats. Run consumes the Results channel itself (per-frame results
 // are discarded; the aggregate Stats and any attached record tee capture
 // the outcome) — callers wanting per-frame results use Submit/Results
-// directly. Every frame pulled from the source before an error still
-// completes: it is counted in the returned Stats and captured by the tee.
+// directly. Every frame pulled from the source before a *source* error
+// still completes: it is counted in the returned Stats and captured by the
+// tee. Frames that were pulled but could not be submitted — a Submit
+// failure means someone called Drain concurrently — are reported in the
+// returned error together with their count, so no pulled frame ever
+// disappears silently.
 func (p *Pipeline) Run(src Source) (Stats, error) {
 	var drainWG sync.WaitGroup
 	if !p.cfg.DiscardResults {
@@ -45,6 +49,7 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 		}()
 	}
 	var srcErr error
+	dropped := 0
 	batch := make([]Job, 0, runBatch)
 	for {
 		j, err := src.Next()
@@ -59,6 +64,7 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 		if len(batch) == runBatch {
 			if err := p.Submit(batch...); err != nil {
 				srcErr = err
+				dropped += len(batch)
 				batch = batch[:0]
 				break
 			}
@@ -68,14 +74,20 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 	if len(batch) > 0 {
 		// Flush frames pulled before a source error too — work the source
 		// handed over is real and belongs in the capture.
-		if err := p.Submit(batch...); err != nil && srcErr == nil {
-			srcErr = err
+		if err := p.Submit(batch...); err != nil {
+			dropped += len(batch)
+			if srcErr == nil {
+				srcErr = err
+			}
 		}
 	}
 	st := p.Drain()
 	drainWG.Wait()
 	if srcErr == nil {
 		srcErr = p.TeeErr()
+	}
+	if dropped > 0 {
+		srcErr = fmt.Errorf("%w (%d frames pulled from the source were dropped unprocessed)", srcErr, dropped)
 	}
 	return st, srcErr
 }

@@ -53,6 +53,24 @@ func NewTagSet(p lora.Params, budget radio.LinkBudget, n int, minM, maxM float64
 	return ts, nil
 }
 
+// tagStreamSeed derives the payload RNG seed for one tag through a
+// splitmix64-style finalizer. A plain XOR with the scaled tag index is not
+// enough: for tag 0 it degenerates to the raw set seed, which is exactly the
+// first word the demodulation pipeline feeds its per-frame noise shards
+// (dsp.NewRand(cfg.Seed, frameSeq)) — tag 0's payloads would then be drawn
+// from the identical PCG stream as their own noise realization whenever the
+// seeds match. The finalizer's avalanche guarantees every tag, including
+// tag 0, lands on a seed unrelated to the raw set seed.
+func tagStreamSeed(seed uint64, tag int) uint64 {
+	z := seed ^ (uint64(tag)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
 // Frame builds frame number seq for one tag: a full downlink frame with a
 // deterministic pseudo-random payload of lora.DefaultPayloadSymbols
 // symbols. It returns the frame and the payload ground truth.
@@ -60,7 +78,7 @@ func (ts *TagSet) Frame(tag int, seq uint64) (*lora.Frame, []int, error) {
 	if tag < 0 || tag >= len(ts.Tags) {
 		return nil, nil, fmt.Errorf("sim: tag %d outside [0, %d)", tag, len(ts.Tags))
 	}
-	rng := dsp.NewRand(ts.Seed^uint64(tag)*0x9e3779b97f4a7c15, seq)
+	rng := dsp.NewRand(tagStreamSeed(ts.Seed, tag), seq)
 	payload := make([]int, lora.DefaultPayloadSymbols)
 	for i := range payload {
 		payload[i] = rng.IntN(ts.Params.AlphabetSize())

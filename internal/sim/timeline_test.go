@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+
+	"saiyan/internal/core"
+	"saiyan/internal/lora"
+	"saiyan/internal/radio"
+)
+
+func testTagSet(t testing.TB, n int) *TagSet {
+	t.Helper()
+	ts, err := NewTagSet(lora.DefaultParams(), radio.DefaultLinkBudget(), n, 20, 80, 20220404)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func TestRenderTimelineDeterministic(t *testing.T) {
+	ts := testTagSet(t, 3)
+	a, err := ts.RenderTimeline(core.DefaultConfig(), TimelineConfig{FramesPerTag: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ts.RenderTimeline(core.DefaultConfig(), TimelineConfig{FramesPerTag: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Env) != len(b.Env) || len(a.EnvC) != len(b.EnvC) {
+		t.Fatalf("render lengths diverged: %d/%d vs %d/%d", len(a.Env), len(a.EnvC), len(b.Env), len(b.EnvC))
+	}
+	for i := range a.Env {
+		if a.Env[i] != b.Env[i] {
+			t.Fatalf("Env[%d] diverged between identical renders", i)
+		}
+	}
+	for i := range a.Events {
+		if a.Events[i].StartSim != b.Events[i].StartSim {
+			t.Fatalf("event %d scheduled at %d then %d", i, a.Events[i].StartSim, b.Events[i].StartSim)
+		}
+	}
+}
+
+func TestTimelineScheduleShape(t *testing.T) {
+	ts := testTagSet(t, 3)
+	tl := TimelineConfig{FramesPerTag: 4, MinGapSymbols: 2, MaxGapSymbols: 10}
+	s, err := ts.RenderTimeline(core.DefaultConfig(), tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 12 {
+		t.Fatalf("scheduled %d events, want 12", len(s.Events))
+	}
+	frameSym := float64(lora.PreambleUpchirps) + lora.SyncSymbols + float64(s.PayloadSymbols)
+	for i := 1; i < len(s.Events); i++ {
+		prev, cur := s.Events[i-1], s.Events[i]
+		if cur.StartSim <= prev.StartSim {
+			t.Errorf("event %d start %d not after event %d start %d", i, cur.StartSim, i-1, prev.StartSim)
+		}
+		gapSym := (float64(cur.StartSamp-prev.StartSamp))/s.SamplesPerSymbol - frameSym
+		if gapSym < tl.MinGapSymbols-1 || gapSym > tl.MaxGapSymbols+1 {
+			t.Errorf("gap before event %d is %.1f symbols, want within [%g, %g]", i, gapSym, tl.MinGapSymbols, tl.MaxGapSymbols)
+		}
+	}
+	// Round-robin tag order, sequence numbers per tag.
+	for i, ev := range s.Events {
+		if ev.Tag != i%3 || ev.Seq != uint64(i/3) {
+			t.Errorf("event %d: tag=%d seq=%d, want tag=%d seq=%d", i, ev.Tag, ev.Seq, i%3, i/3)
+		}
+		if len(ev.Want) != s.PayloadSymbols {
+			t.Errorf("event %d: %d payload symbols, want %d", i, len(ev.Want), s.PayloadSymbols)
+		}
+	}
+	// ModeFull renders both streams at the configured ratio.
+	if s.CorrOversample == 0 || len(s.EnvC) < s.CorrOversample*(len(s.Env)-1) {
+		t.Errorf("correlator stream %d samples for %d sampler samples (ratio %d)", len(s.EnvC), len(s.Env), s.CorrOversample)
+	}
+}
+
+func TestTimelineOverlapSchedulesCollisions(t *testing.T) {
+	ts := testTagSet(t, 2)
+	s, err := ts.RenderTimeline(core.DefaultConfig(), TimelineConfig{FramesPerTag: 4, OverlapEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collisions := 0
+	for i, ev := range s.Events {
+		if !ev.Collides {
+			continue
+		}
+		collisions++
+		if i == 0 {
+			t.Error("first event cannot collide")
+			continue
+		}
+		if ev.StartSim >= s.Events[i-1].StartSim+int(float64(ts.Params.SamplesPerSymbol(400e3))) {
+			// Collider must start before the previous frame ends; previous
+			// frame is ~44 symbols long, so starting within one symbol of
+			// the previous start would be wrong too — just check it starts
+			// before the previous frame's end.
+			continue
+		}
+	}
+	if collisions == 0 {
+		t.Error("OverlapEvery=3 scheduled no collisions")
+	}
+}
+
+func TestTimelineChunksCoverCapture(t *testing.T) {
+	ts := testTagSet(t, 2)
+	s, err := ts.RenderTimeline(core.DefaultConfig(), TimelineConfig{FramesPerTag: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 100, 137, 1 << 20} {
+		var env, envC []float64
+		for _, c := range s.Chunks(chunk) {
+			env = append(env, c.Env...)
+			envC = append(envC, c.EnvC...)
+		}
+		if len(env) != len(s.Env) || len(envC) != len(s.EnvC) {
+			t.Fatalf("chunk=%d: reassembled %d/%d samples, want %d/%d", chunk, len(env), len(envC), len(s.Env), len(s.EnvC))
+		}
+		for i := range env {
+			if env[i] != s.Env[i] {
+				t.Fatalf("chunk=%d: Env[%d] diverged", chunk, i)
+			}
+		}
+		for i := range envC {
+			if envC[i] != s.EnvC[i] {
+				t.Fatalf("chunk=%d: EnvC[%d] diverged", chunk, i)
+			}
+		}
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	ts := testTagSet(t, 2)
+	bad := []TimelineConfig{
+		{},                                    // no frames
+		{FramesPerTag: 1, MinGapSymbols: 0.5}, // gap floor below 1
+		{FramesPerTag: 1, MinGapSymbols: 8, MaxGapSymbols: 4}, // inverted range
+		{FramesPerTag: 1, LeadSymbols: -1},
+		{FramesPerTag: 1, OverlapSymbols: -2},
+	}
+	for i, tl := range bad {
+		if _, err := ts.RenderTimeline(core.DefaultConfig(), tl); err == nil {
+			t.Errorf("timeline config %d accepted, want error", i)
+		}
+	}
+	// Mismatched LoRa parameters must be refused.
+	cfg := core.DefaultConfig()
+	cfg.Params.K = 3
+	if _, err := ts.RenderTimeline(cfg, TimelineConfig{FramesPerTag: 1}); err == nil {
+		t.Error("mismatched demod params accepted")
+	}
+}

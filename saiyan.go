@@ -14,6 +14,7 @@ import (
 	"saiyan/internal/pipeline"
 	"saiyan/internal/radio"
 	"saiyan/internal/sim"
+	"saiyan/internal/stream"
 	"saiyan/internal/trace"
 )
 
@@ -255,6 +256,63 @@ func VerifyTrace(path string, workers int) (PipelineStats, int, error) {
 	}
 	defer r.Close()
 	return pipeline.VerifyReplay(r, workers)
+}
+
+// Continuous-stream receiver types. A stream workload starts from raw
+// envelope samples — a continuous multi-tag capture with idle gaps,
+// partial frames, and chunked delivery — and must *find* packets before
+// demodulating them (the paper's Section 3.2 packet detection), unlike the
+// per-frame pipeline whose jobs arrive with oracle boundaries.
+type (
+	// TimelineConfig shapes a continuous capture: frames per tag, idle gap
+	// bounds, lead-in, optional collisions.
+	TimelineConfig = sim.TimelineConfig
+	// TagStream is a rendered continuous capture: envelope stream(s) plus
+	// the transmission schedule that produced them.
+	TagStream = sim.Stream
+	// StreamFrame is one scheduled transmission of a TagStream.
+	StreamFrame = sim.StreamFrame
+	// StreamChunk is one delivery unit of a capture.
+	StreamChunk = sim.Chunk
+	// StreamConfig assembles the segmenter that hunts frames in a capture.
+	StreamConfig = stream.Config
+	// StreamSegmenter carries preamble-hunt state across chunk deliveries.
+	StreamSegmenter = stream.Segmenter
+	// StreamWindow is one extracted frame candidate.
+	StreamWindow = stream.Window
+	// StreamSource adapts a chunked capture to Pipeline.Run: segmentation
+	// on the submission goroutine, decoding on the worker pool.
+	StreamSource = stream.Source
+	// StreamStats is the outcome of a continuous-capture run: pipeline
+	// aggregates plus segmentation accounting and frame recovery.
+	StreamStats = stream.Stats
+	// StreamMatcher resolves extracted windows back to scheduled truth.
+	StreamMatcher = stream.Matcher
+)
+
+// RenderTimeline schedules framesPerTag frames from every tag of ts along
+// one continuous timeline (idle gaps, optional collisions per tl) and
+// renders the superposed multi-tag envelope through the demodulator chain
+// of cfg in a single pass. See TagSet.RenderTimeline for full control.
+func RenderTimeline(ts *TagSet, cfg Config, tl TimelineConfig) (*TagStream, error) {
+	return ts.RenderTimeline(cfg, tl)
+}
+
+// NewStreamSource builds a pipeline source over a rendered capture,
+// delivered in chunkSamples-sized chunks (0 = one chunk): each Next call
+// advances segmentation until a frame window pops out and submits it as a
+// stream-decode job, so segmentation overlaps demodulation. Extracted
+// windows are matched back to the capture's schedule for scoring.
+func NewStreamSource(cfg StreamConfig, capture *TagStream, chunkSamples int) (*StreamSource, error) {
+	return stream.NewSource(cfg, capture.Chunks(chunkSamples), stream.SimMatcher(capture))
+}
+
+// DemodulateStream runs a rendered capture end to end — segmentation,
+// window decoding on the worker pool, schedule-matched scoring — and
+// returns the stream stats (including the frame Recovery ratio). The
+// outcome is identical for any worker count and any chunk size.
+func DemodulateStream(pcfg PipelineConfig, scfg StreamConfig, capture *TagStream, chunkSamples int) (StreamStats, error) {
+	return stream.Demodulate(pcfg, scfg, capture, chunkSamples)
 }
 
 // Experiment harness types.

@@ -339,3 +339,55 @@ func TestFacadeAGC(t *testing.T) {
 		t.Fatalf("decoded %d symbols, want 3", len(got))
 	}
 }
+
+func TestFacadeStream(t *testing.T) {
+	// Render a continuous capture through the facade and demodulate it from
+	// raw samples; both the convenience driver and the explicit
+	// NewStreamSource + Pipeline.Run wiring must recover every frame.
+	tags, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), 3, 20, 80, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, err := saiyan.RenderTimeline(tags, saiyan.DefaultConfig(), saiyan.TimelineConfig{FramesPerTag: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capture.Events) != 6 || len(capture.Env) == 0 {
+		t.Fatalf("capture: %d events, %d samples", len(capture.Events), len(capture.Env))
+	}
+
+	pcfg := saiyan.DefaultPipelineConfig()
+	pcfg.Seed = 7
+	pcfg.Workers = 2
+	pcfg.DiscardResults = true
+	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: 7}
+	st, err := saiyan.DemodulateStream(pcfg, scfg, capture, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FramesScheduled != 6 {
+		t.Fatalf("scheduled %d frames, want 6", st.FramesScheduled)
+	}
+	if st.Recovery() < 0.95 {
+		t.Errorf("recovery %.2f (%d windows, %d matched), want >= 0.95",
+			st.Recovery(), st.WindowsEmitted, st.WindowsMatched)
+	}
+
+	// Explicit wiring: the segmenting source feeds the pipeline directly.
+	src, err := saiyan.NewStreamSource(scfg, capture, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := saiyan.NewPipeline(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := p.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.FramesOut != st.FramesOut || manual.FramesCorrect != st.FramesCorrect ||
+		manual.SymbolErrs != st.SymbolErrs {
+		t.Errorf("explicit wiring diverged from DemodulateStream:\ndriver: %v\nmanual: %v", st.Stats, manual)
+	}
+}
