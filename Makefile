@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench-json golden fuzz fmt fmt-check vet ci
+.PHONY: build test test-short bench bench.txt bench-json golden fuzz fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -18,13 +18,24 @@ bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
 # Bench smoke with results archived as JSON (what the CI full job uploads).
+# One pattern rule cuts every benchmark family's artifact from the same
+# bench.txt: BENCH_pipeline.json carries the full run, the named families
+# filter by benchmark name prefix. Adding a family is one variable line.
+BENCH_FAMILIES        = pipeline stream gateway
+BENCH_FILTER_pipeline = Benchmark
+BENCH_FILTER_stream   = BenchmarkStream
+BENCH_FILTER_gateway  = BenchmarkGateway
+
 # Redirect instead of piping through tee so a bench failure stops make.
-bench-json:
-	$(GO) test -bench=. -benchtime=1x ./... > bench.txt
-	@cat bench.txt
-	$(GO) run ./cmd/benchjson < bench.txt > BENCH_pipeline.json
-	grep -E '^(goos|goarch|cpu|pkg):|^BenchmarkStream' bench.txt \
-		| $(GO) run ./cmd/benchjson > BENCH_stream.json
+bench.txt:
+	$(GO) test -bench=. -benchtime=1x ./... > $@
+	@cat $@
+
+BENCH_%.json: bench.txt
+	grep -E '^(goos|goarch|cpu|pkg):|^$(BENCH_FILTER_$*)' bench.txt \
+		| $(GO) run ./cmd/benchjson > $@
+
+bench-json: $(BENCH_FAMILIES:%=BENCH_%.json)
 
 # Replay the checked-in golden trace (blocking in CI); regenerate it after
 # an intentional demodulator behavior change with:

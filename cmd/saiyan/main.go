@@ -13,6 +13,9 @@
 //	saiyan stream [-tags M -frames F -workers N -chunk S -overlap K]
 //	                                demodulate a continuous multi-tag capture
 //	                                from raw samples (preamble hunting)
+//	saiyan serve [-channels C -tags M -frames F -epochs E -workers N ...]
+//	                                closed-loop gateway service: sessions,
+//	                                link adaptation, multi-channel ingest
 //	saiyan -pipeline [-workers N -tags M -frames F]
 //	                                multi-tag concurrent demodulation demo
 //
@@ -30,18 +33,58 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"saiyan"
 )
 
+// globals are the flags shared by every subcommand, parsed before the
+// subcommand name.
+type globals struct {
+	quick   bool
+	seed    uint64
+	workers int
+	tags    int
+	frames  int
+}
+
+// subcommand is one entry of the dispatch table: its runner receives the
+// arguments after the subcommand name plus the parsed globals.
+type subcommand struct {
+	name    string
+	summary string
+	run     func(args []string, g *globals) error
+}
+
+// subcommands is the single dispatch table; usage() renders it, main()
+// dispatches over it, and unknown names share one error path.
+var subcommands = []subcommand{
+	{"list", "enumerate every table/figure runner", runList},
+	{"run", "run selected experiments (ids or 'all')", runExperiments},
+	{"record", "demodulate live traffic and record a trace", runRecord},
+	{"replay", "re-demodulate a recorded trace", runReplay},
+	{"stream", "demodulate a continuous multi-tag capture from raw samples", runStream},
+	{"serve", "closed-loop gateway: sessions, link adaptation, multi-channel ingest", runServe},
+}
+
+// usageError prints a consistent usage failure and exits 2 — the one exit
+// path for bad invocations, whatever subcommand (or conflict) caused them.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "saiyan: "+format+"\n", args...)
+	fmt.Fprintln(os.Stderr, "run 'saiyan' without arguments for usage")
+	os.Exit(2)
+}
+
 func main() {
-	quick := flag.Bool("quick", false, "run with reduced Monte-Carlo fidelity")
-	seed := flag.Uint64("seed", 20220404, "experiment PRNG seed")
+	var g globals
+	flag.BoolVar(&g.quick, "quick", false, "run with reduced Monte-Carlo fidelity")
+	flag.Uint64Var(&g.seed, "seed", 20220404, "experiment PRNG seed")
 	pipelineMode := flag.Bool("pipeline", false, "run the concurrent multi-tag demodulation pipeline")
-	workers := flag.Int("workers", 0, "pipeline workers (0 = one per CPU)")
-	tags := flag.Int("tags", 16, "simulated tag population")
-	frames := flag.Int("frames", 4, "frames per tag")
+	flag.IntVar(&g.workers, "workers", 0, "pipeline workers (0 = one per CPU)")
+	flag.IntVar(&g.tags, "tags", 16, "simulated tag population")
+	flag.IntVar(&g.frames, "frames", 4, "frames per tag")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -50,10 +93,9 @@ func main() {
 		// -pipeline is a complete mode of its own: trailing positional
 		// arguments would silently be ignored, so make the conflict loud.
 		if len(args) > 0 {
-			fmt.Fprintf(os.Stderr, "saiyan: -pipeline takes no subcommand, got %q; use either 'saiyan -pipeline' or 'saiyan %s'\n", args, args[0])
-			os.Exit(2)
+			usageError("-pipeline takes no subcommand, got %q; use either 'saiyan -pipeline' or 'saiyan %s'", args, args[0])
 		}
-		if err := runPipeline(*workers, *tags, *frames, *seed); err != nil {
+		if err := runPipeline(&g); err != nil {
 			fmt.Fprintf(os.Stderr, "saiyan: pipeline: %v\n", err)
 			os.Exit(1)
 		}
@@ -64,43 +106,38 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	switch args[0] {
-	case "list":
-		for _, e := range saiyan.Experiments() {
-			fmt.Printf("%-6s  %s\n        paper: %s\n", e.ID, e.Title, e.PaperResult)
+	for _, sc := range subcommands {
+		if sc.name != args[0] {
+			continue
 		}
-	case "run":
-		runExperiments(args[1:], *quick, *seed)
-	case "record":
-		if err := runRecord(args[1:], *workers, *tags, *frames, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "saiyan: record: %v\n", err)
+		if err := sc.run(args[1:], &g); err != nil {
+			fmt.Fprintf(os.Stderr, "saiyan: %s: %v\n", sc.name, err)
 			os.Exit(1)
 		}
-	case "replay":
-		if err := runReplay(args[1:], *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "saiyan: replay: %v\n", err)
-			os.Exit(1)
-		}
-	case "stream":
-		if err := runStream(args[1:], *workers, *tags, *frames, *seed); err != nil {
-			fmt.Fprintf(os.Stderr, "saiyan: stream: %v\n", err)
-			os.Exit(1)
-		}
-	default:
-		usage()
-		os.Exit(2)
+		return
 	}
+	usageError("unknown subcommand %q", args[0])
+}
+
+// runList enumerates the experiment registry.
+func runList(args []string, _ *globals) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected arguments %q", args)
+	}
+	for _, e := range saiyan.Experiments() {
+		fmt.Printf("%-6s  %s\n        paper: %s\n", e.ID, e.Title, e.PaperResult)
+	}
+	return nil
 }
 
 // runExperiments executes selected registry entries.
-func runExperiments(ids []string, quick bool, seed uint64) {
+func runExperiments(ids []string, g *globals) error {
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "saiyan run: need experiment ids or 'all'")
-		os.Exit(2)
+		return fmt.Errorf("need experiment ids or 'all'")
 	}
 	opts := saiyan.DefaultExperimentOptions()
-	opts.Quick = quick
-	opts.Seed = seed
+	opts.Quick = g.quick
+	opts.Seed = g.seed
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = ids[:0]
 		for _, e := range saiyan.Experiments() {
@@ -110,28 +147,28 @@ func runExperiments(ids []string, quick bool, seed uint64) {
 	for _, id := range ids {
 		start := time.Now()
 		if err := saiyan.RunExperiment(id, opts, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "saiyan: %s failed: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s failed: %w", id, err)
 		}
 		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }
 
 // runPipeline simulates a gateway serving a multi-tag deployment: every tag
 // sends `frames` downlink frames and the worker pool demodulates them
 // concurrently, printing the aggregate throughput/error snapshot.
-func runPipeline(workers, tags, frames int, seed uint64) error {
-	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 150, seed)
+func runPipeline(g *globals) error {
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), g.tags, 20, 150, g.seed)
 	if err != nil {
 		return err
 	}
-	src, err := saiyan.NewTagTrafficSource(ts, frames)
+	src, err := saiyan.NewTagTrafficSource(ts, g.frames)
 	if err != nil {
 		return err
 	}
 	cfg := saiyan.DefaultPipelineConfig()
-	cfg.Workers = workers
-	cfg.Seed = seed
+	cfg.Workers = g.workers
+	cfg.Seed = g.seed
 	cfg.DiscardResults = true
 	p, err := saiyan.NewPipeline(cfg)
 	if err != nil {
@@ -141,19 +178,19 @@ func runPipeline(workers, tags, frames int, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pipeline: %d tags x %d frames (20-150 m)\n%v\n", tags, frames, st)
+	fmt.Printf("pipeline: %d tags x %d frames (20-150 m)\n%v\n", g.tags, g.frames, st)
 	return nil
 }
 
 // runRecord demodulates live multi-tag traffic while capturing every frame
 // and its decoded decisions to a trace file.
-func runRecord(args []string, workers, tags, frames int, seed uint64) error {
+func runRecord(args []string, g *globals) error {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	out := fs.String("out", "", "trace output path (gzip when it ends in .gz); required")
-	fs.IntVar(&tags, "tags", tags, "simulated tag population")
-	fs.IntVar(&frames, "frames", frames, "frames per tag")
-	fs.IntVar(&workers, "workers", workers, "pipeline workers (0 = one per CPU)")
-	fs.Uint64Var(&seed, "seed", seed, "recording PRNG seed")
+	fs.IntVar(&g.tags, "tags", g.tags, "simulated tag population")
+	fs.IntVar(&g.frames, "frames", g.frames, "frames per tag")
+	fs.IntVar(&g.workers, "workers", g.workers, "pipeline workers (0 = one per CPU)")
+	fs.Uint64Var(&g.seed, "seed", g.seed, "recording PRNG seed")
 	samples := fs.Bool("samples", false, "also record rendered trajectory/envelope samples (large)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,31 +202,31 @@ func runRecord(args []string, workers, tags, frames int, seed uint64) error {
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments %q", extra)
 	}
-	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 150, seed)
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), g.tags, 20, 150, g.seed)
 	if err != nil {
 		return err
 	}
-	src, err := saiyan.NewTagTrafficSource(ts, frames)
+	src, err := saiyan.NewTagTrafficSource(ts, g.frames)
 	if err != nil {
 		return err
 	}
 	cfg := saiyan.DefaultPipelineConfig()
-	cfg.Workers = workers
-	cfg.Seed = seed
+	cfg.Workers = g.workers
+	cfg.Seed = g.seed
 	cfg.DiscardResults = true
 	st, err := saiyan.RecordTrace(*out, cfg, src, *samples)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d tags x %d frames -> %s\n%v\n", tags, frames, *out, st)
+	fmt.Printf("recorded %d tags x %d frames -> %s\n%v\n", g.tags, g.frames, *out, st)
 	return nil
 }
 
 // runReplay re-demodulates a recorded trace, optionally verifying every
 // decode against the decisions stored in it.
-func runReplay(args []string, workers int) error {
+func runReplay(args []string, g *globals) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
-	fs.IntVar(&workers, "workers", workers, "pipeline workers (0 = one per CPU)")
+	fs.IntVar(&g.workers, "workers", g.workers, "pipeline workers (0 = one per CPU)")
 	verify := fs.Bool("verify", false, "compare every decode against the recorded decisions")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -200,7 +237,7 @@ func runReplay(args []string, workers int) error {
 	}
 	path := fs.Arg(0)
 	if *verify {
-		st, mismatches, err := saiyan.VerifyTrace(path, workers)
+		st, mismatches, err := saiyan.VerifyTrace(path, g.workers)
 		if err != nil {
 			return err
 		}
@@ -211,7 +248,7 @@ func runReplay(args []string, workers int) error {
 		fmt.Println("verify: every decode matches the recorded decisions")
 		return nil
 	}
-	st, err := saiyan.ReplayTrace(path, workers)
+	st, err := saiyan.ReplayTrace(path, g.workers)
 	if err != nil {
 		return err
 	}
@@ -222,12 +259,12 @@ func runReplay(args []string, workers int) error {
 // runStream renders a continuous multi-tag capture (frames at scheduled
 // offsets with idle gaps) and demodulates it from raw samples: segmentation
 // hunts the preambles, the worker pool decodes the extracted windows.
-func runStream(args []string, workers, tags, frames int, seed uint64) error {
+func runStream(args []string, g *globals) error {
 	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
-	fs.IntVar(&tags, "tags", tags, "simulated tag population")
-	fs.IntVar(&frames, "frames", frames, "frames per tag")
-	fs.IntVar(&workers, "workers", workers, "pipeline workers (0 = one per CPU)")
-	fs.Uint64Var(&seed, "seed", seed, "capture PRNG seed")
+	fs.IntVar(&g.tags, "tags", g.tags, "simulated tag population")
+	fs.IntVar(&g.frames, "frames", g.frames, "frames per tag")
+	fs.IntVar(&g.workers, "workers", g.workers, "pipeline workers (0 = one per CPU)")
+	fs.Uint64Var(&g.seed, "seed", g.seed, "capture PRNG seed")
 	chunk := fs.Int("chunk", 256, "delivery chunk size in sampler samples (0 = one chunk)")
 	overlap := fs.Int("overlap", 0, "schedule every n-th frame as a collision (0 = none)")
 	if err := fs.Parse(args); err != nil {
@@ -236,28 +273,28 @@ func runStream(args []string, workers, tags, frames int, seed uint64) error {
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments %q", extra)
 	}
-	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 100, seed)
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), g.tags, 20, 100, g.seed)
 	if err != nil {
 		return err
 	}
 	capture, err := saiyan.RenderTimeline(ts, saiyan.DefaultConfig(), saiyan.TimelineConfig{
-		FramesPerTag: frames,
+		FramesPerTag: g.frames,
 		OverlapEvery: *overlap,
 	})
 	if err != nil {
 		return err
 	}
 	pcfg := saiyan.DefaultPipelineConfig()
-	pcfg.Workers = workers
-	pcfg.Seed = seed
+	pcfg.Workers = g.workers
+	pcfg.Seed = g.seed
 	pcfg.DiscardResults = true
-	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: seed}
+	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: g.seed}
 	st, err := saiyan.DemodulateStream(pcfg, scfg, capture, *chunk)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("stream: %d tags x %d frames over %d samples (%.1f s of air)\n",
-		tags, frames, st.SamplesIn, float64(st.SamplesIn)/capture.SampleRateHz)
+		g.tags, g.frames, st.SamplesIn, float64(st.SamplesIn)/capture.SampleRateHz)
 	fmt.Printf("segmentation: %d windows, %d matched to the %d scheduled frames\n",
 		st.WindowsEmitted, st.WindowsMatched, st.FramesScheduled)
 	fmt.Printf("recovery: %.1f%%  (%d frames decoded error-free)\n", 100*st.Recovery(), st.FramesCorrect)
@@ -265,17 +302,113 @@ func runStream(args []string, workers, tags, frames int, seed uint64) error {
 	return nil
 }
 
+// parseDegradation parses a -degrade spec: exactly epoch:channel:dB, with
+// no trailing fields (Sscanf would silently accept them).
+func parseDegradation(spec string) (saiyan.GatewayDegradation, error) {
+	var d saiyan.GatewayDegradation
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) != 3 {
+		return d, fmt.Errorf("bad -degrade %q (want epoch:channel:dB)", spec)
+	}
+	var err error
+	if d.Epoch, err = strconv.Atoi(parts[0]); err != nil {
+		return d, fmt.Errorf("bad -degrade epoch %q: %w", parts[0], err)
+	}
+	if d.Channel, err = strconv.Atoi(parts[1]); err != nil {
+		return d, fmt.Errorf("bad -degrade channel %q: %w", parts[1], err)
+	}
+	if d.AttenDB, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return d, fmt.Errorf("bad -degrade dB %q: %w", parts[2], err)
+	}
+	return d, nil
+}
+
+// runServe runs the closed-loop gateway service for a number of epochs of
+// tag churn, printing per-epoch metrics and the final session registry.
+func runServe(args []string, g *globals) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	channels := fs.Int("channels", 2, "concurrent ingest channels")
+	epochs := fs.Int("epochs", 6, "epochs to serve")
+	fs.IntVar(&g.tags, "tags", g.tags, "initial tag population")
+	fs.IntVar(&g.frames, "frames", g.frames, "frames per tag per epoch")
+	fs.IntVar(&g.workers, "workers", g.workers, "demodulation workers per rate group (0 = one per CPU)")
+	fs.Uint64Var(&g.seed, "seed", g.seed, "deployment PRNG seed")
+	chunk := fs.Int("chunk", 256, "capture delivery chunk in sampler samples")
+	join := fs.Int("join", 3, "a new tag joins every N epochs (0 = off)")
+	leave := fs.Int("leave", 5, "the oldest tag leaves every N epochs (0 = off)")
+	mobility := fs.Float64("mobility", 0.02, "per-epoch relative distance drift sigma (0 = static)")
+	degrade := fs.String("degrade", "2:0:12", "mid-run SNR degradation as epoch:channel:dB ('' = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments %q", extra)
+	}
+	if *epochs < 1 {
+		return fmt.Errorf("-epochs %d < 1", *epochs)
+	}
+
+	cfg := saiyan.DefaultGatewayConfig()
+	cfg.Seed = g.seed
+	cfg.Workers = g.workers
+	cfg.Channels = *channels
+	cfg.Tags = g.tags
+	cfg.FramesPerTag = g.frames
+	cfg.ChunkSamples = *chunk
+	cfg.JoinEvery = *join
+	cfg.LeaveEvery = *leave
+	cfg.MobilitySigma = *mobility
+	if *degrade != "" {
+		d, err := parseDegradation(*degrade)
+		if err != nil {
+			return err
+		}
+		cfg.Degrade = []saiyan.GatewayDegradation{d}
+	}
+
+	gw, err := saiyan.NewGateway(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: %d channels, %d tags (join/%d leave/%d), %d epochs\n",
+		*channels, g.tags, *join, *leave, *epochs)
+	for i := 0; i < *epochs; i++ {
+		rep, err := gw.RunEpoch()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %2d: tags=%-2d frames=%d (+%d retx) fresh=%d cmds=%d/%d switches=%d hops=%d recals=%d atten=%v delivery=%.1f%% (%v)\n",
+			rep.Epoch, rep.TagsActive, rep.FramesScheduled, rep.Retransmits, rep.FreshDelivered,
+			rep.CmdsDelivered, rep.CmdsSent, rep.RateSwitches, rep.Hops, rep.Recalibrations,
+			rep.ChannelAttenDB, 100*rep.DeliveryRatio, rep.Elapsed.Round(time.Millisecond))
+	}
+	snap := gw.Snapshot()
+	fmt.Printf("\n%v\n\nsessions:\n", snap)
+	for _, s := range snap.Sessions {
+		state := "active"
+		if !s.Active {
+			state = "left"
+		}
+		fmt.Printf("  tag %-3d %-6s ch=%d K=%d delivered=%d/%d pending=%d windowPRR=%.2f snr=%.1fdB switches=%d hops=%d recals=%d\n",
+			s.Tag, state, s.Channel, s.RateK, s.Delivered, s.Scheduled, s.Pending,
+			s.WindowPRR, s.SNREstDB, s.RateSwitches, s.Hops, s.Recalibrations)
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `saiyan - reproduce the NSDI'22 Saiyan evaluation
 
 usage:
-  saiyan [flags] list
-  saiyan [flags] run <id>... | all
-  saiyan [flags] record -out <trace> [-tags M -frames F -workers N -samples]
-  saiyan [flags] replay [-workers N -verify] <trace>
-  saiyan [flags] stream [-tags M -frames F -workers N -chunk S -overlap K]
+  saiyan [flags] <subcommand> [subcommand flags]
   saiyan -pipeline [-workers N -tags M -frames F]
 
+subcommands:
+`)
+	for _, sc := range subcommands {
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n", sc.name, sc.summary)
+	}
+	fmt.Fprintf(os.Stderr, `
 global flags:
   -quick      reduced Monte-Carlo fidelity
   -seed N     PRNG seed

@@ -112,6 +112,35 @@
 // is identical for any worker count and any chunk size. NewStreamSource
 // exposes the segmenting source directly for custom pipelines.
 //
+// # Closed-loop gateway service
+//
+// The gateway subsystem composes everything above into the paper's end
+// state: a long-running access point serving a churning tag deployment
+// over multiple concurrent ingest channels, closing the feedback loop the
+// demodulator makes possible:
+//
+//	cfg := saiyan.DefaultGatewayConfig()
+//	cfg.Seed, cfg.Channels, cfg.Tags = seed, 2, 8
+//	cfg.Degrade = []saiyan.GatewayDegradation{{Epoch: 2, Channel: 0, AttenDB: 12}}
+//	gw, _ := saiyan.NewGateway(cfg)
+//	reports, _ := gw.Run(6)        // epochs of churn: joins, leaves, mobility
+//	snap := gw.Snapshot()          // per-tag sessions + aggregate, deterministic
+//	// snap.DeliveryRatio(): unique frames delivered error-free / scheduled
+//
+// Each epoch renders every channel's population into a continuous capture
+// (grouped by commanded rate K, which sets the PHY alphabet), demodulates
+// all captures through a shared worker pool, and folds the decode results
+// into a per-tag session registry: frame dedup by payload sequence
+// number, sliding-window PRR/SNR/offset accounting. The control loop then
+// adapts every link — RateAdapter picks bits per chirp from a link-margin
+// BER model, collapsed delivery windows trigger a hop off degraded
+// channels, missing frames are re-requested and deduplicated on recovery,
+// and SNR drift re-anchors calibration — by synthesizing downlink
+// Commands through the real 24-bit codec and applying delivered commands
+// to the simulated deployment. Snapshots are byte-identical at any worker
+// count for a fixed seed; see `saiyan serve`, examples/serve, and
+// BenchmarkGateway.
+//
 // # Trace format and compatibility
 //
 // Traces are format version 1 (internal/trace has the byte-level

@@ -1,0 +1,38 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkGateway measures closed-loop epochs per second across worker
+// pool sizes and ingest channel counts: the full service path — timeline
+// rendering, segmentation, window decoding, session fold, control loop.
+func BenchmarkGateway(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		for _, channels := range []int{2, 4} {
+			b.Run(fmt.Sprintf("workers=%d/channels=%d", workers, channels), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := DefaultConfig()
+					cfg.Seed = testSeed
+					cfg.Workers = workers
+					cfg.Channels = channels
+					cfg.Tags = 4 * channels
+					cfg.FramesPerTag = 2
+					g, err := New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := g.Run(2); err != nil {
+						b.Fatal(err)
+					}
+					snap := g.Snapshot()
+					if snap.FramesScheduled == 0 {
+						b.Fatal("benchmark scheduled no frames")
+					}
+					b.ReportMetric(float64(snap.FramesDelivered)/g.Elapsed().Seconds(), "frames/s")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"saiyan/internal/dsp"
+	"saiyan/internal/mac"
+)
+
+// fold replays one epoch's decode outcomes into the session registry, in
+// schedule order (group by group, event by event) — never in worker
+// completion order — so every counter and sliding window is a pure
+// function of the seed.
+func (g *Gateway) fold(plan *epochPlan) {
+	for _, grp := range plan.groups {
+		for ei, ev := range grp.capture.Events {
+			s := g.sessions[ev.Tag]
+			o := grp.outcomes[ei]
+			isRetx := ev.Retransmitted
+			if !isRetx {
+				s.scheduled++
+				g.agg.framesScheduled++
+			}
+			if o.correct {
+				s.prr.push(1)
+			} else {
+				s.prr.push(0)
+			}
+			if o.decoded && o.symbolErrs >= 0 {
+				g.agg.symbolsChecked += uint64(len(ev.Want))
+				g.agg.symbolErrs += uint64(o.symbolErrs)
+			}
+			if o.correct {
+				s.snr.push(ev.RSSDBm - g.noiseFloorDB)
+				s.offset.push(math.Abs(float64(o.offset)))
+				if s.markDelivered(ev.Seq) {
+					g.agg.framesDelivered++
+					if isRetx {
+						s.retxRecovered++
+						g.agg.retxRecovered++
+					}
+				} else {
+					g.agg.framesDuplicate++
+				}
+			} else {
+				s.markMissing(ev.Seq)
+			}
+		}
+	}
+	// Refresh each session's SNR belief from its delivery window.
+	for _, id := range g.aliveIDs() {
+		if s := g.sessions[id]; s.snr.count() > 0 {
+			s.snrEst = s.snr.mean()
+		}
+	}
+}
+
+// berForRate extrapolates a session's link evidence to rate k: the margin
+// of the SNR belief over the rate's requirement sets a model BER (halving
+// the symbol alphabet spacing costs SNRStepPerRateDB per K step), and a
+// lossy delivery window vetoes anything above the floor rate — missing
+// frames are the loudest evidence the link cannot support more bits per
+// chirp.
+func (g *Gateway) berForRate(s *session, k int) float64 {
+	margin := s.snrEst - (g.cfg.BaseSNRReqDB + g.cfg.SNRStepPerRateDB*float64(k-1))
+	ber := 0.5 * math.Pow(10, -margin/g.cfg.BERSlopeDB)
+	if ber > 0.5 {
+		ber = 0.5
+	}
+	if k > g.cfg.Adapter.MinK && s.prr.count() > 0 {
+		if loss := 1 - s.prr.mean(); loss > 0.05 {
+			if ev := loss / 4; ev > ber {
+				ber = ev
+			}
+		}
+	}
+	return ber
+}
+
+// downlinkPRR models the probability that a tag demodulates one feedback
+// command given the session's SNR belief — the Saiyan downlink the whole
+// loop rides on. Clamped away from 0 so a stale belief cannot deadlock the
+// loop, and away from 1 so command delivery stays stochastic.
+func (g *Gateway) downlinkPRR(s *session) float64 {
+	p := 0.5 + (s.snrEst-20)/40
+	return math.Min(0.98, math.Max(0.05, p))
+}
+
+// sendCommand frames one downlink command, round-trips it through the
+// on-air bit codec (what the tag's decoder would parse), and draws its
+// delivery from the epoch command RNG.
+func (g *Gateway) sendCommand(rng *rand.Rand, s *session, cmd mac.Command) (bool, error) {
+	bits, err := cmd.Bits()
+	if err != nil {
+		return false, fmt.Errorf("gateway: framing %v: %w", cmd.Op, err)
+	}
+	parsed, err := mac.ParseCommand(bits)
+	if err != nil || parsed != cmd {
+		return false, fmt.Errorf("gateway: command %v did not survive the bit codec: %v", cmd.Op, err)
+	}
+	g.agg.cmdsSent++
+	if rng.Float64() >= g.downlinkPRR(s) {
+		s.cmdsMissed++
+		g.agg.cmdsMissed++
+		return false, nil
+	}
+	s.cmdsDelivered++
+	g.agg.cmdsDelivered++
+	return true, nil
+}
+
+// addrOf maps a tag ID onto the 8-bit command address space.
+func addrOf(id int) int { return id % mac.BroadcastAddr }
+
+// bestChannel returns the least-attenuated ingest channel (ties to the
+// lowest index).
+func (g *Gateway) bestChannel() int {
+	best := 0
+	for ch := 1; ch < len(g.atten); ch++ {
+		if g.atten[ch] < g.atten[best] {
+			best = ch
+		}
+	}
+	return best
+}
+
+// minHopEvidence is how many windowed PRR samples a session needs before
+// the loop will command a channel hop on their strength.
+const minHopEvidence = 4
+
+// control runs the closed loop over every live session in ascending tag
+// order: rate adaptation, channel hopping, threshold re-calibration, and
+// retransmission of missing frames. Each decision synthesizes a real
+// downlink mac.Command whose delivery is drawn from the epoch-keyed
+// command RNG; delivered commands mutate the deployment model and
+// therefore the next epoch's schedule. A framing failure (a command that
+// cannot survive the bit codec) is a bug, not a lost packet — it
+// propagates instead of being dropped.
+func (g *Gateway) control(epoch int) error {
+	rng := dsp.NewRand(g.cfg.Seed^commandSalt, uint64(epoch))
+	for _, id := range g.aliveIDs() {
+		t := g.tags[id]
+		s := g.sessions[id]
+
+		// Rate adaptation: fastest K whose extrapolated BER meets the
+		// target; fall back to the floor rate when none does.
+		k, _, err := g.cfg.Adapter.Pick(func(k int) (float64, error) {
+			return g.berForRate(s, k), nil
+		})
+		if err != nil {
+			return err
+		}
+		if k != t.rateK {
+			ok, err := g.sendCommand(rng, s, mac.Command{Op: mac.OpSetRate, Addr: addrOf(id), Arg: k})
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.rateK = k
+				s.rateSwitches++
+				g.agg.rateSwitches++
+			}
+		}
+
+		// Channel hop: a collapsed delivery window on a channel with a
+		// better alternative moves the tag.
+		if s.prr.count() >= minHopEvidence && s.prr.mean() < g.cfg.HopThresholdPRR {
+			if best := g.bestChannel(); best != t.channel {
+				ok, err := g.sendCommand(rng, s, mac.Command{Op: mac.OpHopChannel, Addr: addrOf(id), Arg: best})
+				if err != nil {
+					return err
+				}
+				if ok {
+					t.channel = best
+					s.hops++
+					g.agg.hops++
+				}
+			}
+		}
+
+		// Re-calibration: the SNR belief drifted away from the anchor the
+		// tag's thresholds (and the channel's hunt calibration) assume.
+		if math.Abs(s.snrEst-s.calAnchorSNR) > g.cfg.RecalThresholdDB {
+			rss := s.snrEst + g.noiseFloorDB
+			arg := int(math.Round(-rss))
+			arg = int(math.Min(255, math.Max(0, float64(arg))))
+			ok, err := g.sendCommand(rng, s, mac.Command{Op: mac.OpRecalibrate, Addr: addrOf(id), Arg: arg})
+			if err != nil {
+				return err
+			}
+			if ok {
+				s.calAnchorSNR = s.snrEst
+				s.recals++
+				g.agg.recals++
+			}
+		}
+
+		// Retransmission: ask for every still-missing frame with budget
+		// left; a delivered command schedules the frame on the next epoch.
+		kept := s.missing[:0]
+		for _, m := range s.missing {
+			if m.attempts >= g.cfg.RetryMax {
+				continue // budget exhausted: the frame is abandoned
+			}
+			m.attempts++
+			ok, err := g.sendCommand(rng, s, mac.Command{Op: mac.OpRetransmit, Addr: addrOf(id), Arg: int(m.seq % 256)})
+			if err != nil {
+				return err
+			}
+			if ok {
+				t.retxNext = append(t.retxNext, m.seq)
+				s.retxScheduled++
+				g.agg.retxScheduled++
+			}
+			kept = append(kept, m)
+		}
+		s.missing = kept
+	}
+	return nil
+}

@@ -1,0 +1,627 @@
+// Package gateway closes the Saiyan feedback loop at deployment scale: a
+// long-running access-point service that ingests multiple concurrent
+// stream channels, maintains a per-tag session registry, and runs a
+// control loop that adapts each link — rate selection through
+// mac.RateAdapter, channel hopping away from degraded bands, on-demand
+// retransmission of missing frames, and threshold re-calibration — by
+// synthesizing real downlink mac.Commands and applying their effects back
+// to the simulated tag deployment.
+//
+// Time advances in epochs. Each epoch the gateway (1) applies deployment
+// churn — joins, departures, mobility — and any scheduled channel
+// degradations; (2) renders every channel's tag population into a
+// continuous multi-tag capture (grouped by the tags' current downlink
+// rate, since the rate sets the PHY alphabet) and demodulates all captures
+// through one shared worker pool per rate group, segmentation interleaved
+// round-robin across channels; (3) folds the decode results into the
+// session registry — frame dedup by per-tag payload sequence number,
+// sliding-window PRR/SNR/offset accounting; and (4) runs the control loop,
+// whose commands take effect on the next epoch's schedule.
+//
+// Everything is deterministic in Config.Seed: results are folded in
+// schedule order (not worker completion order), command RNG draws are
+// keyed by epoch and consumed in ascending-tag order, and Snapshot carries
+// no wall-clock state — so the full metrics snapshot is byte-identical at
+// any worker count.
+package gateway
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"saiyan/internal/core"
+	"saiyan/internal/dsp"
+	"saiyan/internal/lora"
+	"saiyan/internal/mac"
+	"saiyan/internal/radio"
+	"saiyan/internal/sim"
+)
+
+// Derived-RNG salts (distinct from the sim package's payload/schedule/noise
+// streams by construction: they go through dsp.NewRand's own mixing with
+// these large odd constants).
+const (
+	churnSalt   = 0x636875726e5f5347 // "churn_SG"
+	commandSalt = 0x636d645f53474157 // "cmd_SGAW"
+)
+
+// Degradation schedules a persistent mid-run channel-quality change: from
+// epoch Epoch onward, every frame on channel Channel is received AttenDB
+// weaker (a jammer parking on the band, a new obstruction). Negative
+// AttenDB models recovery.
+type Degradation struct {
+	Epoch   int
+	Channel int
+	AttenDB float64
+}
+
+// Config assembles a gateway service.
+type Config struct {
+	// Demod is the demodulator chain every ingest channel runs. The
+	// configured Params.K is only the PHY baseline; each rate group renders
+	// and decodes at its tags' commanded K.
+	Demod core.Config
+
+	// Budget is the link budget tags are placed against.
+	Budget radio.LinkBudget
+
+	// Channels is the number of concurrent ingest channels. Default 2.
+	Channels int
+
+	// Tags is the initial tag population, placed geometrically between MinM
+	// and MaxM (defaults 8 tags, 20..80 m).
+	Tags       int
+	MinM, MaxM float64
+
+	// FramesPerTag is each tag's regular schedule per epoch. Default 2.
+	FramesPerTag int
+
+	// ChunkSamples is the capture delivery granularity fed to the stream
+	// segmenter. Default 256.
+	ChunkSamples int
+
+	// Workers sizes each rate group's demodulation worker pool. Default:
+	// one per CPU.
+	Workers int
+
+	// Seed drives every derived RNG: placement, payloads, schedules,
+	// churn, and downlink command delivery.
+	Seed uint64
+
+	// StatsWindow is the sliding-window length of the per-session PRR /
+	// SNR / offset accounting. Default 16.
+	StatsWindow int
+
+	// Adapter picks downlink rates from the link-margin BER estimate.
+	// Default: BER <= 1e-3 over K in [1, 3].
+	Adapter mac.RateAdapter
+
+	// InitialRateK is the rate tags join at. Default Adapter.MinK.
+	InitialRateK int
+
+	// HopThresholdPRR commands a channel hop when a session's windowed PRR
+	// falls below it (and a better channel exists). Default 0.6.
+	HopThresholdPRR float64
+
+	// RetryMax bounds retransmission commands per missing frame. Default 3.
+	RetryMax int
+
+	// JoinEvery / LeaveEvery schedule deployment churn: every JoinEvery
+	// epochs a new tag joins; every LeaveEvery epochs the oldest tag
+	// leaves. 0 disables.
+	JoinEvery, LeaveEvery int
+
+	// MobilitySigma is the per-epoch log-normal relative step of every
+	// tag's distance (0.05 = ~5% drift per epoch). 0 keeps tags static.
+	MobilitySigma float64
+
+	// Degrade schedules channel-quality changes.
+	Degrade []Degradation
+
+	// Link-margin BER model (see berForRate): a rate K is usable when the
+	// session SNR clears BaseSNRReqDB + SNRStepPerRateDB*(K-1), with
+	// BERSlopeDB dB of margin per decade of BER. Defaults 25 / 8 / 4.
+	BaseSNRReqDB     float64
+	SNRStepPerRateDB float64
+	BERSlopeDB       float64
+
+	// RecalThresholdDB re-anchors a session's calibration when its SNR
+	// belief drifts this far from the anchor. Default 3 dB.
+	RecalThresholdDB float64
+}
+
+// DefaultConfig returns a 2-channel, 8-tag gateway over the paper's
+// default demodulator.
+func DefaultConfig() Config {
+	return Config{Demod: core.DefaultConfig(), Budget: radio.DefaultLinkBudget()}
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Channels == 0 {
+		c.Channels = 2
+	}
+	if c.Channels < 1 {
+		return c, fmt.Errorf("gateway: %d channels < 1", c.Channels)
+	}
+	// A hop command carries the target channel in its 8-bit argument, so
+	// channel indices must stay addressable.
+	if c.Channels > 256 {
+		return c, fmt.Errorf("gateway: %d channels exceed the command argument space (max 256)", c.Channels)
+	}
+	if c.Tags == 0 {
+		c.Tags = 8
+	}
+	if c.Tags < 1 {
+		return c, fmt.Errorf("gateway: %d tags < 1", c.Tags)
+	}
+	if c.MinM == 0 {
+		c.MinM = 20
+	}
+	if c.MaxM == 0 {
+		c.MaxM = 80
+	}
+	if c.MinM <= 0 || c.MaxM < c.MinM {
+		return c, fmt.Errorf("gateway: distance range [%g, %g] m invalid", c.MinM, c.MaxM)
+	}
+	if c.FramesPerTag == 0 {
+		c.FramesPerTag = 2
+	}
+	if c.FramesPerTag < 1 {
+		return c, fmt.Errorf("gateway: %d frames per tag < 1", c.FramesPerTag)
+	}
+	if c.ChunkSamples == 0 {
+		c.ChunkSamples = 256
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return c, fmt.Errorf("gateway: %d workers < 1", c.Workers)
+	}
+	if c.StatsWindow == 0 {
+		c.StatsWindow = 16
+	}
+	if c.StatsWindow < 1 {
+		return c, fmt.Errorf("gateway: stats window %d < 1", c.StatsWindow)
+	}
+	if c.Adapter == (mac.RateAdapter{}) {
+		c.Adapter = mac.RateAdapter{BERTarget: 1e-3, MinK: 1, MaxK: 3}
+	}
+	if c.Adapter.MinK < 1 || c.Adapter.MaxK < c.Adapter.MinK || c.Adapter.MaxK > c.Demod.Params.SF {
+		return c, fmt.Errorf("gateway: adapter rate bounds [%d, %d] invalid for SF%d",
+			c.Adapter.MinK, c.Adapter.MaxK, c.Demod.Params.SF)
+	}
+	if c.InitialRateK == 0 {
+		c.InitialRateK = c.Adapter.MinK
+	}
+	if c.InitialRateK < c.Adapter.MinK || c.InitialRateK > c.Adapter.MaxK {
+		return c, fmt.Errorf("gateway: initial rate K=%d outside adapter bounds [%d, %d]",
+			c.InitialRateK, c.Adapter.MinK, c.Adapter.MaxK)
+	}
+	if c.HopThresholdPRR == 0 {
+		c.HopThresholdPRR = 0.6
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 3
+	}
+	if c.BaseSNRReqDB == 0 {
+		c.BaseSNRReqDB = 25
+	}
+	if c.SNRStepPerRateDB == 0 {
+		c.SNRStepPerRateDB = 8
+	}
+	if c.BERSlopeDB == 0 {
+		c.BERSlopeDB = 4
+	}
+	if c.RecalThresholdDB == 0 {
+		c.RecalThresholdDB = 3
+	}
+	for _, d := range c.Degrade {
+		if d.Channel < 0 || d.Channel >= c.Channels {
+			return c, fmt.Errorf("gateway: degradation targets channel %d of %d", d.Channel, c.Channels)
+		}
+		if d.Epoch < 0 {
+			return c, fmt.Errorf("gateway: degradation at negative epoch %d", d.Epoch)
+		}
+	}
+	return c, nil
+}
+
+// tagState is one deployed tag in the gateway's model of the field.
+type tagState struct {
+	id        int
+	distanceM float64
+	channel   int
+	rateK     int
+	// retxNext holds the frame sequence numbers this tag was commanded to
+	// retransmit on the next epoch.
+	retxNext []uint64
+}
+
+// Gateway is a running closed-loop service. Construct with New, advance
+// with RunEpoch (or Run), observe with Snapshot.
+type Gateway struct {
+	cfg          Config
+	noiseFloorDB float64
+
+	epoch    int
+	nextID   int
+	tags     map[int]*tagState
+	sessions map[int]*session
+	atten    []float64 // per-channel attenuation in dB
+
+	// Per-channel noise accounting from the most recent epoch's segmenters
+	// (core.NoiseStats of the hunt demodulator).
+	chanNoise []noiseStats
+
+	agg     aggregate
+	elapsed time.Duration
+
+	// err latches the first epoch failure: churn and command effects are
+	// applied incrementally, so re-driving a half-served epoch would
+	// corrupt the deployment model (double-applied degradations, repeated
+	// joins). A failed gateway refuses further epochs instead.
+	err error
+}
+
+type noiseStats struct{ baseline, sigma float64 }
+
+// aggregate is the deterministic gateway-wide counter set.
+type aggregate struct {
+	framesScheduled  uint64
+	framesDelivered  uint64
+	framesDuplicate  uint64
+	retxScheduled    uint64
+	retxRecovered    uint64
+	windowsEmitted   uint64
+	windowsUnmatched uint64
+	symbolsChecked   uint64
+	symbolErrs       uint64
+	cmdsSent         uint64
+	cmdsDelivered    uint64
+	cmdsMissed       uint64
+	rateSwitches     uint64
+	hops             uint64
+	recals           uint64
+}
+
+// New validates cfg and places the initial deployment.
+func New(cfg Config) (*Gateway, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	// Validate the demodulator once at every rate the adapter may command.
+	for k := cfg.Adapter.MinK; k <= cfg.Adapter.MaxK; k++ {
+		probe := cfg.Demod
+		probe.Params.K = k
+		if _, err := core.New(probe); err != nil {
+			return nil, fmt.Errorf("gateway: demodulator invalid at K=%d: %w", k, err)
+		}
+	}
+	g := &Gateway{
+		cfg:          cfg,
+		noiseFloorDB: cfg.Budget.NoiseFloorDBm(cfg.Demod.Params.BandwidthHz),
+		tags:         make(map[int]*tagState),
+		sessions:     make(map[int]*session),
+		atten:        make([]float64, cfg.Channels),
+		chanNoise:    make([]noiseStats, cfg.Channels),
+	}
+	// Initial placement is sim.NewTagSet's geometric spacing (one source of
+	// truth); channels are dealt round-robin.
+	placement, err := sim.NewTagSet(cfg.Demod.Params, cfg.Budget, cfg.Tags, cfg.MinM, cfg.MaxM, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range placement.Tags {
+		g.admitTag(t.DistanceM, i%cfg.Channels)
+	}
+	return g, nil
+}
+
+// admitTag registers a new tag and opens its session.
+func (g *Gateway) admitTag(distanceM float64, channel int) *tagState {
+	id := g.nextID
+	g.nextID++
+	t := &tagState{id: id, distanceM: distanceM, channel: channel, rateK: g.cfg.InitialRateK}
+	g.tags[id] = t
+	g.sessions[id] = newSession(id, g.cfg.StatsWindow, g.snrAt(t))
+	return t
+}
+
+// snrAt is the link-budget SNR of a tag on its current channel.
+func (g *Gateway) snrAt(t *tagState) float64 {
+	return g.cfg.Budget.RSSDBm(t.distanceM) - g.atten[t.channel] - g.noiseFloorDB
+}
+
+// rssAt is the received signal strength of a tag on its current channel.
+func (g *Gateway) rssAt(t *tagState) float64 {
+	return g.cfg.Budget.RSSDBm(t.distanceM) - g.atten[t.channel]
+}
+
+// aliveIDs returns the deployed tag IDs in ascending order.
+func (g *Gateway) aliveIDs() []int {
+	ids := make([]int, 0, len(g.tags))
+	for id := range g.tags {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// applyChurn advances the deployment model one epoch: scheduled channel
+// degradations, mobility drift, a join, and a departure — all drawn from
+// the epoch-keyed churn RNG in deterministic order.
+func (g *Gateway) applyChurn(epoch int) {
+	for _, d := range g.cfg.Degrade {
+		if d.Epoch == epoch {
+			g.atten[d.Channel] += d.AttenDB
+		}
+	}
+	rng := dsp.NewRand(g.cfg.Seed^churnSalt, uint64(epoch))
+	if g.cfg.MobilitySigma > 0 && epoch > 0 {
+		for _, id := range g.aliveIDs() {
+			t := g.tags[id]
+			t.distanceM *= math.Exp(g.cfg.MobilitySigma * rng.NormFloat64())
+			if t.distanceM < 1 {
+				t.distanceM = 1
+			}
+		}
+	}
+	if g.cfg.JoinEvery > 0 && epoch > 0 && epoch%g.cfg.JoinEvery == 0 {
+		frac := rng.Float64()
+		d := g.cfg.MinM * math.Pow(g.cfg.MaxM/g.cfg.MinM, frac)
+		g.admitTag(d, g.leastLoadedChannel())
+	}
+	if g.cfg.LeaveEvery > 0 && epoch > 0 && epoch%g.cfg.LeaveEvery == 0 && len(g.tags) > 1 {
+		oldest := g.aliveIDs()[0]
+		t := g.tags[oldest]
+		s := g.sessions[oldest]
+		s.active = false
+		s.lastChannel, s.lastRateK = t.channel, t.rateK
+		delete(g.tags, oldest)
+	}
+}
+
+// leastLoadedChannel picks the ingest channel with the fewest tags (ties to
+// the lowest index).
+func (g *Gateway) leastLoadedChannel() int {
+	load := make([]int, g.cfg.Channels)
+	for _, t := range g.tags {
+		load[t.channel]++
+	}
+	best := 0
+	for ch := 1; ch < len(load); ch++ {
+		if load[ch] < load[best] {
+			best = ch
+		}
+	}
+	return best
+}
+
+// EpochReport summarizes one served epoch.
+type EpochReport struct {
+	Epoch      int
+	TagsActive int
+
+	FramesScheduled int // transmissions this epoch (regular + retransmits)
+	Retransmits     int // retransmissions among them
+	FreshDelivered  int // unique frames first delivered this epoch
+	WindowsEmitted  int
+
+	CmdsSent, CmdsDelivered int
+	RateSwitches            int
+	Hops                    int
+	Recalibrations          int
+
+	ChannelAttenDB []float64
+
+	// DeliveryRatio is the cumulative dedup-correct delivery over the whole
+	// run after this epoch.
+	DeliveryRatio float64
+
+	Elapsed time.Duration
+}
+
+// RunEpoch serves one epoch: churn, multi-channel ingest, session fold,
+// control loop. Commands issued by the control loop shape the next epoch.
+// An epoch failure is latched: the deployment model may already carry this
+// epoch's churn and degradations, so the gateway refuses to serve further
+// epochs rather than re-applying them.
+func (g *Gateway) RunEpoch() (EpochReport, error) {
+	if g.err != nil {
+		return EpochReport{}, g.err
+	}
+	start := time.Now()
+	epoch := g.epoch
+	g.applyChurn(epoch)
+
+	preDelivered := g.agg.framesDelivered
+	preCmdsSent, preCmdsDel := g.agg.cmdsSent, g.agg.cmdsDelivered
+	preSwitch, preHops, preRecals := g.agg.rateSwitches, g.agg.hops, g.agg.recals
+
+	plan := g.buildPlan(epoch)
+	if err := g.ingest(plan); err != nil {
+		g.err = fmt.Errorf("gateway: epoch %d: %w", epoch, err)
+		return EpochReport{}, g.err
+	}
+	g.fold(plan)
+	if err := g.control(epoch); err != nil {
+		g.err = fmt.Errorf("gateway: epoch %d: %w", epoch, err)
+		return EpochReport{}, g.err
+	}
+	g.epoch++
+
+	rep := EpochReport{
+		Epoch:          epoch,
+		TagsActive:     len(g.tags),
+		ChannelAttenDB: append([]float64(nil), g.atten...),
+		CmdsSent:       int(g.agg.cmdsSent - preCmdsSent),
+		CmdsDelivered:  int(g.agg.cmdsDelivered - preCmdsDel),
+		RateSwitches:   int(g.agg.rateSwitches - preSwitch),
+		Hops:           int(g.agg.hops - preHops),
+		Recalibrations: int(g.agg.recals - preRecals),
+		FreshDelivered: int(g.agg.framesDelivered - preDelivered),
+		DeliveryRatio:  g.deliveryRatio(),
+		Elapsed:        time.Since(start),
+	}
+	for _, grp := range plan.groups {
+		rep.FramesScheduled += len(grp.capture.Events)
+		rep.Retransmits += len(grp.tl.Retransmits)
+		rep.WindowsEmitted += grp.windows
+	}
+	g.elapsed += rep.Elapsed
+	return rep, nil
+}
+
+// Run serves n epochs and returns their reports.
+func (g *Gateway) Run(n int) ([]EpochReport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gateway: %d epochs < 1", n)
+	}
+	reports := make([]EpochReport, 0, n)
+	for i := 0; i < n; i++ {
+		rep, err := g.RunEpoch()
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Elapsed is the total wall-clock time spent serving epochs. It is kept
+// out of Snapshot so snapshots stay bit-comparable across runs.
+func (g *Gateway) Elapsed() time.Duration { return g.elapsed }
+
+func (g *Gateway) deliveryRatio() float64 {
+	if g.agg.framesScheduled == 0 {
+		return 0
+	}
+	return float64(g.agg.framesDelivered) / float64(g.agg.framesScheduled)
+}
+
+// ChannelSnapshot is the externally visible state of one ingest channel.
+type ChannelSnapshot struct {
+	Channel       int
+	AttenDB       float64
+	Tags          int
+	NoiseBaseline float64 // hunt demodulator no-signal envelope baseline
+	NoiseSigma    float64 // hunt demodulator envelope noise deviation
+}
+
+// Snapshot is the gateway's full deterministic metrics state: for a fixed
+// Config it is byte-identical at any worker count.
+type Snapshot struct {
+	Epochs     int
+	TagsSeen   int
+	TagsActive int
+
+	// Dedup-correct frame accounting: unique frames only.
+	FramesScheduled uint64
+	FramesDelivered uint64
+	FramesDuplicate uint64
+
+	RetransmitsScheduled uint64
+	RetransmitsRecovered uint64
+
+	WindowsEmitted   uint64
+	WindowsUnmatched uint64
+	SymbolsChecked   uint64
+	SymbolErrs       uint64
+
+	CmdsSent      uint64
+	CmdsDelivered uint64
+	CmdsMissed    uint64
+
+	RateSwitches   uint64
+	Hops           uint64
+	Recalibrations uint64
+
+	Channels []ChannelSnapshot
+	Sessions []SessionSnapshot // ascending tag ID
+}
+
+// DeliveryRatio is the cumulative dedup-correct delivery: unique frames
+// delivered error-free over unique frames scheduled.
+func (s Snapshot) DeliveryRatio() float64 {
+	if s.FramesScheduled == 0 {
+		return 0
+	}
+	return float64(s.FramesDelivered) / float64(s.FramesScheduled)
+}
+
+// FramesMissing is the number of unique scheduled frames never delivered.
+func (s Snapshot) FramesMissing() uint64 {
+	return s.FramesScheduled - s.FramesDelivered
+}
+
+// SER is the aggregate symbol error rate over schedule-matched windows.
+func (s Snapshot) SER() float64 {
+	if s.SymbolsChecked == 0 {
+		return 0
+	}
+	return float64(s.SymbolErrs) / float64(s.SymbolsChecked)
+}
+
+// String renders the aggregate as a one-line service report.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"epochs=%d tags=%d/%d delivery=%.1f%% (%d/%d unique, %d dup) retx=%d/%d cmds=%d/%d switches=%d hops=%d recals=%d",
+		s.Epochs, s.TagsActive, s.TagsSeen, 100*s.DeliveryRatio(),
+		s.FramesDelivered, s.FramesScheduled, s.FramesDuplicate,
+		s.RetransmitsRecovered, s.RetransmitsScheduled,
+		s.CmdsDelivered, s.CmdsSent, s.RateSwitches, s.Hops, s.Recalibrations)
+}
+
+// Snapshot returns the current metrics state.
+func (g *Gateway) Snapshot() Snapshot {
+	snap := Snapshot{
+		Epochs:               g.epoch,
+		TagsSeen:             g.nextID,
+		TagsActive:           len(g.tags),
+		FramesScheduled:      g.agg.framesScheduled,
+		FramesDelivered:      g.agg.framesDelivered,
+		FramesDuplicate:      g.agg.framesDuplicate,
+		RetransmitsScheduled: g.agg.retxScheduled,
+		RetransmitsRecovered: g.agg.retxRecovered,
+		WindowsEmitted:       g.agg.windowsEmitted,
+		WindowsUnmatched:     g.agg.windowsUnmatched,
+		SymbolsChecked:       g.agg.symbolsChecked,
+		SymbolErrs:           g.agg.symbolErrs,
+		CmdsSent:             g.agg.cmdsSent,
+		CmdsDelivered:        g.agg.cmdsDelivered,
+		CmdsMissed:           g.agg.cmdsMissed,
+		RateSwitches:         g.agg.rateSwitches,
+		Hops:                 g.agg.hops,
+		Recalibrations:       g.agg.recals,
+	}
+	load := make([]int, g.cfg.Channels)
+	for _, t := range g.tags {
+		load[t.channel]++
+	}
+	for ch := 0; ch < g.cfg.Channels; ch++ {
+		snap.Channels = append(snap.Channels, ChannelSnapshot{
+			Channel:       ch,
+			AttenDB:       g.atten[ch],
+			Tags:          load[ch],
+			NoiseBaseline: g.chanNoise[ch].baseline,
+			NoiseSigma:    g.chanNoise[ch].sigma,
+		})
+	}
+	for _, id := range g.sessionTags() {
+		snap.Sessions = append(snap.Sessions, g.snapshotSession(g.sessions[id]))
+	}
+	return snap
+}
+
+// params returns the gateway PHY parameters at rate k.
+func (g *Gateway) params(k int) lora.Params {
+	p := g.cfg.Demod.Params
+	p.K = k
+	return p
+}

@@ -1,0 +1,211 @@
+package gateway
+
+import "sort"
+
+// slidingWindow is a fixed-capacity ring of float64 observations. Pushes
+// and reads happen in deterministic (schedule) order, so its mean is a pure
+// function of the observation stream regardless of worker count.
+type slidingWindow struct {
+	vals []float64
+	next int
+	n    int
+}
+
+func newWindow(capacity int) slidingWindow {
+	return slidingWindow{vals: make([]float64, capacity)}
+}
+
+func (w *slidingWindow) push(v float64) {
+	w.vals[w.next] = v
+	w.next = (w.next + 1) % len(w.vals)
+	if w.n < len(w.vals) {
+		w.n++
+	}
+}
+
+func (w *slidingWindow) count() int { return w.n }
+
+func (w *slidingWindow) mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	// Sum in ring-storage order: deterministic for a deterministic stream.
+	sum := 0.0
+	for i := 0; i < w.n; i++ {
+		sum += w.vals[i]
+	}
+	return sum / float64(w.n)
+}
+
+// session is the gateway's per-tag link state: dedup set, sliding-window
+// link accounting, and the adaptation counters the control loop maintains.
+type session struct {
+	tag    int
+	active bool // the tag is still part of the deployment
+
+	// delivered is the frame dedup set: per-tag payload sequence numbers
+	// decoded error-free at least once.
+	delivered map[uint64]bool
+
+	// missing holds sequence numbers scheduled but not yet delivered, in
+	// first-miss order, with the number of retransmission commands spent.
+	missing []retxState
+
+	// Sliding windows over the most recent scheduled frames (prr) and the
+	// most recent deliveries (snr, offset).
+	prr    slidingWindow
+	snr    slidingWindow
+	offset slidingWindow
+
+	// snrEst is the control loop's current link-quality belief: seeded from
+	// the link budget when the tag joins, then tracking the delivery
+	// window's mean. calAnchorSNR is the SNR at which the tag's thresholds
+	// were last calibrated; drifting away from it triggers OpRecalibrate.
+	snrEst       float64
+	calAnchorSNR float64
+
+	// lastChannel / lastRateK freeze the tag's final assignment when it
+	// leaves the deployment, so departed sessions still snapshot usefully.
+	lastChannel int
+	lastRateK   int
+
+	// Counters (monotonic).
+	scheduled     uint64 // unique frames first-scheduled for this tag
+	deliveredN    uint64 // unique frames delivered error-free
+	duplicates    uint64 // correct decodes of an already-delivered frame
+	retxScheduled uint64 // retransmissions scheduled on later epochs
+	retxRecovered uint64 // unique frames recovered by a retransmission
+	rateSwitches  uint64
+	hops          uint64
+	recals        uint64
+	cmdsDelivered uint64
+	cmdsMissed    uint64
+}
+
+// retxState tracks one missing frame through the retransmission loop.
+type retxState struct {
+	seq      uint64
+	attempts int // retransmission commands issued for it
+}
+
+func newSession(tag, window int, snrEst float64) *session {
+	return &session{
+		tag:          tag,
+		active:       true,
+		delivered:    make(map[uint64]bool),
+		prr:          newWindow(window),
+		snr:          newWindow(window),
+		offset:       newWindow(window),
+		snrEst:       snrEst,
+		calAnchorSNR: snrEst,
+	}
+}
+
+// missingIndex finds seq in the missing list, or -1.
+func (s *session) missingIndex(seq uint64) int {
+	for i := range s.missing {
+		if s.missing[i].seq == seq {
+			return i
+		}
+	}
+	return -1
+}
+
+// markMissing records a scheduled-but-undelivered frame (idempotent).
+func (s *session) markMissing(seq uint64) {
+	if s.delivered[seq] || s.missingIndex(seq) >= 0 {
+		return
+	}
+	s.missing = append(s.missing, retxState{seq: seq})
+}
+
+// markDelivered folds one error-free decode into the dedup set, reporting
+// whether the frame was new. A recovered frame leaves the missing list.
+func (s *session) markDelivered(seq uint64) (fresh bool) {
+	if s.delivered[seq] {
+		s.duplicates++
+		return false
+	}
+	s.delivered[seq] = true
+	s.deliveredN++
+	if i := s.missingIndex(seq); i >= 0 {
+		s.missing = append(s.missing[:i], s.missing[i+1:]...)
+	}
+	return true
+}
+
+// SessionSnapshot is the externally visible state of one tag's session.
+type SessionSnapshot struct {
+	Tag     int
+	Channel int
+	RateK   int
+	Active  bool
+
+	Scheduled  uint64 // unique frames scheduled
+	Delivered  uint64 // unique frames delivered error-free
+	Duplicates uint64 // correct decodes beyond the first
+	Pending    int    // frames still awaiting retransmission
+
+	RetransmitsScheduled uint64
+	RetransmitsRecovered uint64
+
+	// Sliding-window link accounting.
+	WindowPRR     float64 // delivery ratio over the recent schedule window
+	SNREstDB      float64 // control loop's current SNR belief
+	MeanAbsOffset float64 // mean |detection offset| in sampler samples
+
+	RateSwitches   uint64
+	Hops           uint64
+	Recalibrations uint64
+	CmdsDelivered  uint64
+	CmdsMissed     uint64
+}
+
+// PRR is the session's lifetime unique-frame delivery ratio.
+func (s SessionSnapshot) PRR() float64 {
+	if s.Scheduled == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Scheduled)
+}
+
+// snapshotSession renders one session against its current tag assignment
+// (channel and rate come from the deployment model; a departed tag reports
+// its last assignment).
+func (g *Gateway) snapshotSession(s *session) SessionSnapshot {
+	snap := SessionSnapshot{
+		Tag:                  s.tag,
+		Active:               s.active,
+		Scheduled:            s.scheduled,
+		Delivered:            s.deliveredN,
+		Duplicates:           s.duplicates,
+		Pending:              len(s.missing),
+		RetransmitsScheduled: s.retxScheduled,
+		RetransmitsRecovered: s.retxRecovered,
+		WindowPRR:            s.prr.mean(),
+		SNREstDB:             s.snrEst,
+		MeanAbsOffset:        s.offset.mean(),
+		RateSwitches:         s.rateSwitches,
+		Hops:                 s.hops,
+		Recalibrations:       s.recals,
+		CmdsDelivered:        s.cmdsDelivered,
+		CmdsMissed:           s.cmdsMissed,
+	}
+	if t, ok := g.tags[s.tag]; ok {
+		snap.Channel, snap.RateK = t.channel, t.rateK
+	} else {
+		snap.Channel, snap.RateK = s.lastChannel, s.lastRateK
+	}
+	return snap
+}
+
+// sessionTags returns every session's tag ID in ascending order — the
+// deterministic iteration order for control and snapshotting.
+func (g *Gateway) sessionTags() []int {
+	ids := make([]int, 0, len(g.sessions))
+	for id := range g.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

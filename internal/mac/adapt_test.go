@@ -1,0 +1,175 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"saiyan/internal/dsp"
+)
+
+// TestRateAdapterProbesFastestFirst pins Pick's probe order: it must walk
+// from MaxK downward and stop at the first rate meeting the target, never
+// probing slower rates than the winner.
+func TestRateAdapterProbesFastestFirst(t *testing.T) {
+	r := RateAdapter{BERTarget: 1e-3, MinK: 1, MaxK: 5}
+	var probed []int
+	k, met, err := r.Pick(func(k int) (float64, error) {
+		probed = append(probed, k)
+		if k <= 3 {
+			return 1e-4, nil
+		}
+		return 1e-1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 || !met {
+		t.Fatalf("picked (%d, %v), want (3, true)", k, met)
+	}
+	want := []int{5, 4, 3}
+	if len(probed) != len(want) {
+		t.Fatalf("probed %v, want %v", probed, want)
+	}
+	for i := range want {
+		if probed[i] != want[i] {
+			t.Fatalf("probed %v, want %v", probed, want)
+		}
+	}
+}
+
+// TestRateAdapterDegenerateRange covers MinK == MaxK: a one-rate adapter
+// either confirms that rate or falls back to it unmet — it never invents
+// another K.
+func TestRateAdapterDegenerateRange(t *testing.T) {
+	r := RateAdapter{BERTarget: 1e-3, MinK: 2, MaxK: 2}
+	k, met, err := r.Pick(func(int) (float64, error) { return 1e-6, nil })
+	if err != nil || k != 2 || !met {
+		t.Errorf("clean one-rate pick = (%d, %v, %v), want (2, true, nil)", k, met, err)
+	}
+	k, met, err = r.Pick(func(int) (float64, error) { return 0.3, nil })
+	if err != nil || k != 2 || met {
+		t.Errorf("dirty one-rate pick = (%d, %v, %v), want (2, false, nil)", k, met, err)
+	}
+}
+
+// TestRateAdapterNoViableRateNeverProbesBelowMinK exercises the
+// no-viable-rate fallback: every probe fails the target, Pick returns
+// (MinK, false) and the probe sequence stops at MinK.
+func TestRateAdapterNoViableRateNeverProbesBelowMinK(t *testing.T) {
+	r := RateAdapter{BERTarget: 1e-6, MinK: 2, MaxK: 4}
+	lowest := math.MaxInt
+	k, met, err := r.Pick(func(k int) (float64, error) {
+		if k < lowest {
+			lowest = k
+		}
+		return 0.5, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 || met {
+		t.Errorf("fallback = (%d, %v), want (2, false)", k, met)
+	}
+	if lowest != r.MinK {
+		t.Errorf("probed down to K=%d, floor is MinK=%d", lowest, r.MinK)
+	}
+}
+
+// TestHoppingDeterministicInSeed runs the case study twice from the same
+// seed and once from another: identical seeds must agree sample for
+// sample, and a different seed must not (the simulation actually draws
+// from the RNG).
+func TestHoppingDeterministicInSeed(t *testing.T) {
+	cfg := DefaultHoppingConfig()
+	cfg.Rounds = 40
+	q := jammedQuality(0.4, 0.95)
+	a, err := SimulateHopping(cfg, q, dsp.NewRand(99, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateHopping(cfg, q, dsp.NewRand(99, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HopRound != b.HopRound {
+		t.Fatalf("hop round diverged for identical seeds: %d vs %d", a.HopRound, b.HopRound)
+	}
+	for i := range a.WithHop {
+		if a.WithHop[i] != b.WithHop[i] || a.WithoutHop[i] != b.WithoutHop[i] {
+			t.Fatalf("round %d diverged for identical seeds", i)
+		}
+	}
+	c, err := SimulateHopping(cfg, q, dsp.NewRand(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.WithHop {
+		if a.WithHop[i] != c.WithHop[i] {
+			same = false
+			break
+		}
+	}
+	if same && a.HopRound == c.HopRound {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+// TestHoppingSamplesAltChannelAfterHop pins the degraded-channel branch:
+// once the tag hops, WithHop rounds must be drawn from the alternate
+// channel's quality while WithoutHop stays pinned to the jammed home
+// channel for the whole run.
+func TestHoppingSamplesAltChannelAfterHop(t *testing.T) {
+	cfg := DefaultHoppingConfig()
+	cfg.Rounds = 60
+	cfg.HopCommandPRR = 1 // hop at the first bad round, deterministically
+	// Home channel dead, alternate perfect: post-hop samples must be
+	// exactly 1 and pre-hop samples exactly 0 — no averaging ambiguity.
+	res, err := SimulateHopping(cfg, jammedQuality(0, 1), dsp.NewRand(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HopRound != 0 {
+		t.Fatalf("hop at round %d, want 0 (first round is always below threshold)", res.HopRound)
+	}
+	for i, prr := range res.WithHop {
+		want := 1.0
+		if i <= res.HopRound {
+			want = 0 // the hop lands after the round's measurement
+		}
+		if prr != want {
+			t.Errorf("WithHop[%d] = %g, want %g", i, prr, want)
+		}
+	}
+	for i, prr := range res.WithoutHop {
+		if prr != 0 {
+			t.Errorf("WithoutHop[%d] = %g, want 0 (pinned to jammed channel)", i, prr)
+		}
+	}
+}
+
+// TestHoppingStaysWhenQualityAboveThreshold: a clean home channel never
+// trips the hop threshold, so the tag stays put even with a perfect
+// downlink.
+func TestHoppingStaysWhenQualityAboveThreshold(t *testing.T) {
+	cfg := DefaultHoppingConfig()
+	cfg.Rounds = 50
+	cfg.HopCommandPRR = 1
+	res, err := SimulateHopping(cfg, jammedQuality(0.95, 0.95), dsp.NewRand(11, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HopRound != -1 {
+		t.Errorf("tag hopped at round %d on a clean channel", res.HopRound)
+	}
+}
+
+// TestHoppingPerRoundValidation covers the config rejection branch that
+// only PerRound (not Rounds) violates.
+func TestHoppingPerRoundValidation(t *testing.T) {
+	cfg := DefaultHoppingConfig()
+	cfg.PerRound = 0
+	if _, err := SimulateHopping(cfg, jammedQuality(0.4, 0.9), dsp.NewRand(1, 1)); err == nil {
+		t.Error("zero packets per round accepted")
+	}
+}

@@ -33,6 +33,11 @@ const (
 	OpSetRate
 	OpSensorOn
 	OpSensorOff
+	// OpRecalibrate tells a tag to rebuild its comparator threshold table
+	// for the RSS encoded in the argument (-Arg dBm): the gateway issues it
+	// when a session's measured SNR drifts away from the calibration anchor
+	// (Section 4.1's per-distance table going stale as the tag moves).
+	OpRecalibrate
 )
 
 // String names the opcode.
@@ -50,6 +55,8 @@ func (op Opcode) String() string {
 		return "sensor-on"
 	case OpSensorOff:
 		return "sensor-off"
+	case OpRecalibrate:
+		return "recalibrate"
 	}
 	return "unknown"
 }
@@ -69,7 +76,7 @@ const commandBits = 24
 
 // Validate checks field ranges.
 func (c Command) Validate() error {
-	if c.Op < OpAck || c.Op > OpSensorOff {
+	if c.Op < OpAck || c.Op > OpRecalibrate {
 		return fmt.Errorf("mac: invalid opcode %d", c.Op)
 	}
 	if c.Addr < 0 || c.Addr > 255 {

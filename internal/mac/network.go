@@ -180,7 +180,10 @@ func (n *Network) apply(t *Tag, cmd Command) {
 		}
 	}
 	// OpAck / OpRetransmit / OpHopChannel act at packet granularity and
-	// are handled by the round loop and the hopping simulator.
+	// are handled by the round loop and the hopping simulator;
+	// OpRecalibrate rebuilds tag-local comparator thresholds, which this
+	// probability-level model does not carry (the gateway subsystem models
+	// its effect on the session's calibration anchor).
 }
 
 // DeliveryRate returns the network-wide fraction of sent packets that the

@@ -71,17 +71,40 @@ func tagStreamSeed(seed uint64, tag int) uint64 {
 	return z
 }
 
-// Frame builds frame number seq for one tag: a full downlink frame with a
-// deterministic pseudo-random payload of lora.DefaultPayloadSymbols
+// TagByID finds the tag with the given ID, or nil. IDs are global: a
+// TagSet built by NewTagSet uses 0..n-1, but a hand-assembled subset (a
+// gateway channel's current population, say) keeps the IDs of the full
+// deployment, so payload streams follow the tag wherever it is scheduled.
+func (ts *TagSet) TagByID(id int) *SimTag {
+	for i := range ts.Tags {
+		if ts.Tags[i].ID == id {
+			return &ts.Tags[i]
+		}
+	}
+	return nil
+}
+
+// Frame builds frame number seq for one tag ID: a full downlink frame with
+// a deterministic pseudo-random payload of lora.DefaultPayloadSymbols
 // symbols. It returns the frame and the payload ground truth.
+//
+// The underlying data is a pure function of (Seed, tag, seq) alone: each
+// symbol is cut from a full-alphabet (2^SF) data word drawn independently
+// of the coding rate, then encoded as the word's top K bits. A frame
+// rebuilt through a different subset TagSet — or retransmitted after a
+// rate change — therefore carries the same data re-encoded at the set's
+// current rate, exactly as a real tag re-encodes its buffered packet.
 func (ts *TagSet) Frame(tag int, seq uint64) (*lora.Frame, []int, error) {
-	if tag < 0 || tag >= len(ts.Tags) {
-		return nil, nil, fmt.Errorf("sim: tag %d outside [0, %d)", tag, len(ts.Tags))
+	if ts.TagByID(tag) == nil {
+		return nil, nil, fmt.Errorf("sim: no tag with ID %d in the set", tag)
 	}
 	rng := dsp.NewRand(tagStreamSeed(ts.Seed, tag), seq)
 	payload := make([]int, lora.DefaultPayloadSymbols)
 	for i := range payload {
-		payload[i] = rng.IntN(ts.Params.AlphabetSize())
+		// ChirpCount is a power of two, so IntN consumes exactly one PCG
+		// step per symbol regardless of K: the data-word stream is
+		// rate-independent.
+		payload[i] = rng.IntN(ts.Params.ChirpCount()) >> (ts.Params.SF - ts.Params.K)
 	}
 	f, err := lora.NewFrame(ts.Params, payload)
 	if err != nil {

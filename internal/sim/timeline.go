@@ -46,6 +46,26 @@ type TimelineConfig struct {
 
 	// OverlapSymbols is the collision depth in symbol times. Default 4.
 	OverlapSymbols float64
+
+	// SeqBase offsets every scheduled frame's per-tag sequence number: tag
+	// payloads are pure functions of (Seed, tag, seq), so a long-running
+	// gateway renders epoch e with SeqBase = e*FramesPerTag and every epoch
+	// carries fresh, globally-unique frames instead of replaying epoch 0.
+	SeqBase uint64
+
+	// Retransmits appends explicit extra transmissions after the round-robin
+	// schedule — the frames a gateway's downlink commanded the tags to send
+	// again. Each re-encodes the same (Tag, Seq)-keyed data word stream its
+	// original transmission carried (at the set's current rate, if a rate
+	// command landed in between), which is what frame-level dedup at the
+	// receiver keys on.
+	Retransmits []Retransmit
+}
+
+// Retransmit names one explicitly re-scheduled transmission.
+type Retransmit struct {
+	Tag int
+	Seq uint64
 }
 
 // withDefaults fills zero fields and validates.
@@ -87,6 +107,11 @@ type StreamFrame struct {
 	StartSim  int   // first sample of the frame at the simulation rate
 	StartSamp int   // first sampler-rate sample at or after StartSim
 	Collides  bool  // scheduled to overlap the previous frame
+	// Retransmitted marks an event scheduled through
+	// TimelineConfig.Retransmits rather than the regular round-robin
+	// rounds, so receivers can account recoveries without re-deriving the
+	// schedule layout.
+	Retransmitted bool
 }
 
 // Stream is a rendered continuous capture: the envelope(s) a receiver
@@ -134,14 +159,29 @@ func (ts *TagSet) RenderTimeline(cfg core.Config, tl TimelineConfig) (*Stream, e
 	// each frame; every OverlapEvery-th frame instead starts inside the
 	// previous one.
 	rng := dsp.NewRand(tagStreamSeed(ts.Seed, scheduleStream), 0)
-	total := len(ts.Tags) * tl.FramesPerTag
+	regular := len(ts.Tags) * tl.FramesPerTag
+	total := regular + len(tl.Retransmits)
 	events := make([]StreamFrame, 0, total)
 	trajs := make([][]float64, 0, total)
 	at := symSamples(tl.LeadSymbols)
 	prevEnd := at
 	for i := 0; i < total; i++ {
-		tag := ts.Tags[i%len(ts.Tags)]
-		seq := uint64(i / len(ts.Tags))
+		var tag SimTag
+		var seq uint64
+		retx := i >= regular
+		if !retx {
+			tag = ts.Tags[i%len(ts.Tags)]
+			seq = tl.SeqBase + uint64(i/len(ts.Tags))
+		} else {
+			// Retransmissions ride at the end of the schedule, the way a
+			// gateway's follow-up slots trail the regular rounds.
+			rt := tl.Retransmits[i-regular]
+			t := ts.TagByID(rt.Tag)
+			if t == nil {
+				return nil, fmt.Errorf("sim: retransmit for tag %d not in the set", rt.Tag)
+			}
+			tag, seq = *t, rt.Seq
+		}
 		frame, want, err := ts.Frame(tag.ID, seq)
 		if err != nil {
 			return nil, err
@@ -158,12 +198,13 @@ func (ts *TagSet) RenderTimeline(cfg core.Config, tl TimelineConfig) (*Stream, e
 			collides = true
 		}
 		events = append(events, StreamFrame{
-			Tag:      tag.ID,
-			Seq:      seq,
-			RSSDBm:   tag.RSSDBm,
-			Want:     want,
-			StartSim: start,
-			Collides: collides,
+			Tag:           tag.ID,
+			Seq:           seq,
+			RSSDBm:        tag.RSSDBm,
+			Want:          want,
+			StartSim:      start,
+			Collides:      collides,
+			Retransmitted: retx,
 		})
 		trajs = append(trajs, traj)
 		if end := start + len(traj); end > prevEnd {

@@ -137,6 +137,12 @@ func NewSegmenter(cfg Config, emit func(Window) error) (*Segmenter, error) {
 // Windows reports how many frame windows have been emitted.
 func (s *Segmenter) Windows() int { return s.windows }
 
+// NoiseStats reports the hunt demodulator's calibrated envelope noise
+// statistics (core.Demodulator.NoiseStats): the no-signal baseline and the
+// noise standard deviation the detection gate is derived from. Gateways
+// surface these per ingest channel.
+func (s *Segmenter) NoiseStats() (baseline, sigma float64) { return s.d.NoiseStats() }
+
 // SamplesIn reports how many sampler-rate samples have been pushed.
 func (s *Segmenter) SamplesIn() int64 { return s.samples }
 

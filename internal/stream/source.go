@@ -87,6 +87,9 @@ func (s *Source) Matched() int { return s.matched }
 // SamplesIn reports how many sampler-rate samples were segmented.
 func (s *Source) SamplesIn() int64 { return s.seg.SamplesIn() }
 
+// NoiseStats reports the segmenter's calibrated envelope noise statistics.
+func (s *Source) NoiseStats() (baseline, sigma float64) { return s.seg.NoiseStats() }
+
 // Stats is the outcome of a continuous-capture demodulation run: the
 // pipeline aggregate plus segmentation-level accounting.
 type Stats struct {

@@ -9,6 +9,7 @@ import (
 	"saiyan/internal/dsp"
 	"saiyan/internal/energy"
 	"saiyan/internal/experiments"
+	"saiyan/internal/gateway"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
 	"saiyan/internal/pipeline"
@@ -314,6 +315,42 @@ func NewStreamSource(cfg StreamConfig, capture *TagStream, chunkSamples int) (*S
 func DemodulateStream(pcfg PipelineConfig, scfg StreamConfig, capture *TagStream, chunkSamples int) (StreamStats, error) {
 	return stream.Demodulate(pcfg, scfg, capture, chunkSamples)
 }
+
+// Closed-loop gateway service types. A Gateway is the end state the paper
+// argues for: a long-running access point that ingests multiple concurrent
+// stream channels, tracks every tag in a session registry (frame dedup,
+// sliding-window PRR/SNR/offset), and closes the feedback loop — rate
+// adaptation, channel hopping, retransmission, re-calibration — by
+// synthesizing downlink Commands and applying them back to the simulated
+// deployment.
+type (
+	// Gateway is a running closed-loop service; advance with RunEpoch or
+	// Run, observe with Snapshot.
+	Gateway = gateway.Gateway
+	// GatewayConfig assembles a gateway: channels, tag population, churn,
+	// degradations, adaptation thresholds.
+	GatewayConfig = gateway.Config
+	// GatewayStats is the gateway's deterministic metrics snapshot —
+	// byte-identical at any worker count for a fixed seed.
+	GatewayStats = gateway.Snapshot
+	// GatewaySession is the per-tag slice of a GatewayStats.
+	GatewaySession = gateway.SessionSnapshot
+	// GatewayChannel is the per-ingest-channel slice of a GatewayStats.
+	GatewayChannel = gateway.ChannelSnapshot
+	// GatewayEpochReport summarizes one served epoch.
+	GatewayEpochReport = gateway.EpochReport
+	// GatewayDegradation schedules a mid-run channel-quality change.
+	GatewayDegradation = gateway.Degradation
+)
+
+// DefaultGatewayConfig returns a 2-channel, 8-tag closed-loop gateway over
+// the paper's default demodulator and link budget.
+func DefaultGatewayConfig() GatewayConfig { return gateway.DefaultConfig() }
+
+// NewGateway starts a closed-loop gateway service over a simulated tag
+// deployment. For a fixed cfg.Seed the full metrics snapshot is identical
+// regardless of cfg.Workers.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
 
 // Experiment harness types.
 type (

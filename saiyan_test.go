@@ -391,3 +391,37 @@ func TestFacadeStream(t *testing.T) {
 		t.Errorf("explicit wiring diverged from DemodulateStream:\ndriver: %v\nmanual: %v", st.Stats, manual)
 	}
 }
+
+func TestFacadeGateway(t *testing.T) {
+	cfg := saiyan.DefaultGatewayConfig()
+	cfg.Seed = 11
+	cfg.Workers = 2
+	cfg.Channels = 2
+	cfg.Tags = 4
+	cfg.FramesPerTag = 1
+	cfg.Degrade = []saiyan.GatewayDegradation{{Epoch: 1, Channel: 1, AttenDB: 10}}
+	g, err := saiyan.NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := g.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d epoch reports, want 3", len(reports))
+	}
+	snap := g.Snapshot()
+	if snap.Epochs != 3 || snap.TagsActive != 4 {
+		t.Fatalf("snapshot: epochs=%d tags=%d, want 3/4", snap.Epochs, snap.TagsActive)
+	}
+	if snap.FramesScheduled == 0 || snap.DeliveryRatio() <= 0 {
+		t.Fatalf("gateway delivered nothing: %v", snap)
+	}
+	if len(snap.Sessions) != 4 || len(snap.Channels) != 2 {
+		t.Fatalf("snapshot carries %d sessions / %d channels, want 4 / 2", len(snap.Sessions), len(snap.Channels))
+	}
+	if snap.Channels[1].AttenDB != 10 {
+		t.Errorf("channel 1 attenuation %g, want 10", snap.Channels[1].AttenDB)
+	}
+}
