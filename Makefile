@@ -21,10 +21,14 @@ bench:
 # One pattern rule cuts every benchmark family's artifact from the same
 # bench.txt: BENCH_pipeline.json carries the full run, the named families
 # filter by benchmark name prefix. Adding a family is one variable line.
-BENCH_FAMILIES        = pipeline stream gateway
+BENCH_FAMILIES        = pipeline stream gateway fxp
 BENCH_FILTER_pipeline = Benchmark
 BENCH_FILTER_stream   = BenchmarkStream
 BENCH_FILTER_gateway  = BenchmarkGateway
+# BENCH_fxp.json carries both sides of the float-vs-fxp ns/frame
+# comparison: the BenchmarkFxpPipeline* variants run the integer MCU
+# datapath, the BenchmarkFxpFloatRef* twins run the float reference.
+BENCH_FILTER_fxp      = BenchmarkFxp
 
 # Redirect instead of piping through tee so a bench failure stops make.
 bench.txt:

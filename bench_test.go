@@ -209,6 +209,100 @@ func BenchmarkStream1Worker16Tags(b *testing.B)  { benchStream(b, 1, 16) }
 func BenchmarkStream4Workers16Tags(b *testing.B) { benchStream(b, 4, 16) }
 func BenchmarkStream8Workers16Tags(b *testing.B) { benchStream(b, 8, 16) }
 
+// Fixed-point datapath benchmarks: the same traffic matrix demodulated
+// with the float64 reference and the Q1.15 integer MCU datapath. Both
+// variants report ns/frame from the pipeline's own clock, so BENCH_fxp.json
+// carries the float-vs-fxp comparison directly; the fxp variants also
+// report the deterministic MCU cycle budget per frame.
+
+func benchFxpPipeline(b *testing.B, workers int, dp saiyan.Datapath) {
+	const tags, framesPerTag = 8, 4
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 120, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []saiyan.PipelineJob
+	for f := 0; f < framesPerTag; f++ {
+		for _, tag := range ts.Tags {
+			frame, want, err := ts.Frame(tag.ID, uint64(f))
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, saiyan.PipelineJob{Tag: tag.ID, Frame: frame, RSSDBm: tag.RSSDBm, Want: want})
+		}
+	}
+	rss := make([]float64, len(ts.Tags))
+	for i, tag := range ts.Tags {
+		rss[i] = tag.RSSDBm
+	}
+	cfg := saiyan.DefaultPipelineConfig()
+	cfg.Workers = workers
+	cfg.Seed = 7
+	cfg.DiscardResults = true
+	cfg.Demod.Datapath = dp
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last saiyan.PipelineStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := saiyan.NewPipeline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Precalibrate(rss...)
+		b.StartTimer()
+		for at := 0; at < len(jobs); at += tags {
+			if err := p.Submit(jobs[at : at+tags]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		last = p.Drain()
+		if last.FramesOut != uint64(len(jobs)) {
+			b.Fatalf("pipeline lost frames: %d/%d", last.FramesOut, len(jobs))
+		}
+	}
+	b.ReportMetric(float64(last.Elapsed.Nanoseconds())/float64(last.FramesOut), "ns/frame")
+	b.ReportMetric(last.FramesPerSec(), "frames/s")
+	if dp == saiyan.DatapathFixed {
+		b.ReportMetric(float64(last.FxpCycles)/float64(last.FramesOut), "MCUcycles/frame")
+	}
+}
+
+func BenchmarkFxpPipeline1Worker(b *testing.B)  { benchFxpPipeline(b, 1, saiyan.DatapathFixed) }
+func BenchmarkFxpPipeline4Workers(b *testing.B) { benchFxpPipeline(b, 4, saiyan.DatapathFixed) }
+func BenchmarkFxpPipeline8Workers(b *testing.B) { benchFxpPipeline(b, 8, saiyan.DatapathFixed) }
+
+// The float twins of the fxp benchmarks, under the BenchmarkFxp prefix so
+// the BENCH_fxp.json artifact carries both sides of the comparison.
+func BenchmarkFxpFloatRef1Worker(b *testing.B)  { benchFxpPipeline(b, 1, saiyan.DatapathFloat) }
+func BenchmarkFxpFloatRef4Workers(b *testing.B) { benchFxpPipeline(b, 4, saiyan.DatapathFloat) }
+func BenchmarkFxpFloatRef8Workers(b *testing.B) { benchFxpPipeline(b, 8, saiyan.DatapathFloat) }
+
+// BenchmarkFxpDecodeSymbol is the integer twin of
+// BenchmarkDemodulateSymbolFull: one payload symbol through the full
+// render+decode path on the fixed-point datapath.
+func BenchmarkFxpDecodeSymbol(b *testing.B) {
+	cfg := saiyan.DefaultConfig()
+	cfg.Datapath = saiyan.DatapathFixed
+	d, err := saiyan.NewDemodulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := saiyan.NewRand(1, 1)
+	const rss = -70.0
+	d.Calibrate(rss, rng)
+	p := cfg.Params
+	traj := p.FreqTrajectory(nil, p.SymbolValue(1), d.SimRateHz())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.DemodulatePayload(traj, rss, 1, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.TakeFxpCycles())/float64(b.N), "MCUcycles/op")
+}
+
 // Component-level microbenchmarks: the per-stage costs a porting effort
 // would care about.
 

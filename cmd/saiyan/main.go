@@ -16,6 +16,9 @@
 //	saiyan serve [-channels C -tags M -frames F -epochs E -workers N ...]
 //	                                closed-loop gateway service: sessions,
 //	                                link adaptation, multi-channel ingest
+//	saiyan fxp [-tags M -frames F -workers N -adcbits B]
+//	                                float vs fixed-point (MCU) datapath:
+//	                                parity, speed, cycle/energy budget
 //	saiyan -pipeline [-workers N -tags M -frames F]
 //	                                multi-tag concurrent demodulation demo
 //
@@ -67,6 +70,7 @@ var subcommands = []subcommand{
 	{"replay", "re-demodulate a recorded trace", runReplay},
 	{"stream", "demodulate a continuous multi-tag capture from raw samples", runStream},
 	{"serve", "closed-loop gateway: sessions, link adaptation, multi-channel ingest", runServe},
+	{"fxp", "compare the float and fixed-point (MCU) datapaths: parity, speed, cycle budget", runFxp},
 }
 
 // usageError prints a consistent usage failure and exits 2 — the one exit
@@ -267,6 +271,8 @@ func runStream(args []string, g *globals) error {
 	fs.Uint64Var(&g.seed, "seed", g.seed, "capture PRNG seed")
 	chunk := fs.Int("chunk", 256, "delivery chunk size in sampler samples (0 = one chunk)")
 	overlap := fs.Int("overlap", 0, "schedule every n-th frame as a collision (0 = none)")
+	useFxp := fs.Bool("fxp", false, "decode with the fixed-point MCU datapath")
+	adcBits := fs.Int("adcbits", 12, "ADC bit depth for -fxp (2-15)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -288,7 +294,13 @@ func runStream(args []string, g *globals) error {
 	pcfg.Workers = g.workers
 	pcfg.Seed = g.seed
 	pcfg.DiscardResults = true
-	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: g.seed}
+	dcfg := saiyan.DefaultConfig()
+	if *useFxp {
+		dcfg.Datapath = saiyan.DatapathFixed
+		dcfg.ADCBits = *adcBits
+	}
+	pcfg.Demod = dcfg
+	scfg := saiyan.StreamConfig{Demod: dcfg, Seed: g.seed}
 	st, err := saiyan.DemodulateStream(pcfg, scfg, capture, *chunk)
 	if err != nil {
 		return err
@@ -299,6 +311,128 @@ func runStream(args []string, g *globals) error {
 		st.WindowsEmitted, st.WindowsMatched, st.FramesScheduled)
 	fmt.Printf("recovery: %.1f%%  (%d frames decoded error-free)\n", 100*st.Recovery(), st.FramesCorrect)
 	fmt.Printf("segmentation throughput: %.2f Msamples/s of capture\n%v\n", st.SamplesPerSec()/1e6, st.Stats)
+	if *useFxp {
+		budget := saiyan.DefaultMCUBudget()
+		span := time.Duration(float64(st.SamplesIn) / capture.SampleRateHz * float64(time.Second))
+		fmt.Printf("fxp datapath: %d cycles, %.2f%% of the %.0f MHz clock over the capture, %.2f uW at 1%% duty (Table 2 MCU: %.1f uW)\n",
+			st.FxpCycles, 100*budget.LoadFraction(st.FxpCycles, span), budget.ClockHz/1e6,
+			budget.DutyCycledPowerUW(st.FxpCycles, span, 0.01), saiyan.MCUTable2UW)
+	}
+	return nil
+}
+
+// runFxp demodulates one traffic matrix through both datapaths — the
+// float64 reference and the Q1.15 integer MCU path — and reports symbol
+// parity, per-frame wall time, and the integer path's cycle budget priced
+// against the Table 2 MCU entry.
+func runFxp(args []string, g *globals) error {
+	fs := flag.NewFlagSet("fxp", flag.ContinueOnError)
+	fs.IntVar(&g.tags, "tags", g.tags, "simulated tag population")
+	fs.IntVar(&g.frames, "frames", g.frames, "frames per tag")
+	fs.IntVar(&g.workers, "workers", g.workers, "pipeline workers (0 = one per CPU)")
+	fs.Uint64Var(&g.seed, "seed", g.seed, "traffic PRNG seed")
+	bits := fs.Int("adcbits", 12, "ADC quantizer bit depth (2-15)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if extra := fs.Args(); len(extra) > 0 {
+		return fmt.Errorf("unexpected arguments %q", extra)
+	}
+
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), g.tags, 20, 120, g.seed)
+	if err != nil {
+		return err
+	}
+	type tfFrame struct {
+		job     saiyan.PipelineJob
+		airtime float64
+	}
+	var traffic []tfFrame
+	for f := 0; f < g.frames; f++ {
+		for _, tag := range ts.Tags {
+			frame, want, err := ts.Frame(tag.ID, uint64(f))
+			if err != nil {
+				return err
+			}
+			traffic = append(traffic, tfFrame{
+				job:     saiyan.PipelineJob{Tag: tag.ID, Frame: frame, RSSDBm: tag.RSSDBm, Want: want},
+				airtime: frame.Duration(),
+			})
+		}
+	}
+
+	runOne := func(dp saiyan.Datapath) (saiyan.PipelineStats, map[uint64][]int, error) {
+		cfg := saiyan.DefaultPipelineConfig()
+		cfg.Workers = g.workers
+		cfg.Seed = g.seed
+		cfg.Demod.Datapath = dp
+		cfg.Demod.ADCBits = *bits
+		pl, err := saiyan.NewPipeline(cfg)
+		if err != nil {
+			return saiyan.PipelineStats{}, nil, err
+		}
+		decoded := make(map[uint64][]int, len(traffic))
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for r := range pl.Results() {
+				decoded[r.Seq] = r.Symbols
+			}
+		}()
+		for _, tf := range traffic {
+			if err := pl.Submit(tf.job); err != nil {
+				return saiyan.PipelineStats{}, nil, err
+			}
+		}
+		st := pl.Drain()
+		<-done
+		return st, decoded, nil
+	}
+
+	flStats, flSyms, err := runOne(saiyan.DatapathFloat)
+	if err != nil {
+		return err
+	}
+	fxStats, fxSyms, err := runOne(saiyan.DatapathFixed)
+	if err != nil {
+		return err
+	}
+
+	total, agree := 0, 0
+	var airtime float64
+	for seq, tf := range traffic {
+		airtime += tf.airtime
+		a, b := flSyms[uint64(seq)], fxSyms[uint64(seq)]
+		for i := range a {
+			total++
+			if i < len(b) && a[i] == b[i] {
+				agree++
+			}
+		}
+	}
+
+	nsPerFrame := func(st saiyan.PipelineStats) float64 {
+		if st.FramesOut == 0 {
+			return 0
+		}
+		return float64(st.Elapsed.Nanoseconds()) / float64(st.FramesOut)
+	}
+	fmt.Printf("fxp: %d tags x %d frames, %d-bit ADC\n", g.tags, g.frames, *bits)
+	fmt.Printf("float: %v  (%.0f ns/frame)\n", flStats, nsPerFrame(flStats))
+	fmt.Printf("fxp:   %v  (%.0f ns/frame)\n", fxStats, nsPerFrame(fxStats))
+	if total > 0 {
+		fmt.Printf("parity: %d/%d symbols agree (%.2f%%)\n", agree, total, 100*float64(agree)/float64(total))
+	}
+
+	budget := saiyan.DefaultMCUBudget()
+	span := time.Duration(airtime * float64(time.Second))
+	cycles := fxStats.FxpCycles
+	fmt.Printf("cycle budget: %d cycles over %.1f ms of air (%.0f cycles/frame)\n",
+		cycles, airtime*1e3, float64(cycles)/float64(len(traffic)))
+	fmt.Printf("MCU load: %.2f%% of the %.0f MHz clock -> %.1f uW while receiving, %.2f uW at 1%% duty (Table 2 MCU: %.1f uW)\n",
+		100*budget.LoadFraction(cycles, span), budget.ClockHz/1e6,
+		budget.AveragePowerUW(cycles, span),
+		budget.DutyCycledPowerUW(cycles, span, 0.01), saiyan.MCUTable2UW)
 	return nil
 }
 
@@ -338,6 +472,8 @@ func runServe(args []string, g *globals) error {
 	leave := fs.Int("leave", 5, "the oldest tag leaves every N epochs (0 = off)")
 	mobility := fs.Float64("mobility", 0.02, "per-epoch relative distance drift sigma (0 = static)")
 	degrade := fs.String("degrade", "2:0:12", "mid-run SNR degradation as epoch:channel:dB ('' = none)")
+	useFxp := fs.Bool("fxp", false, "decode with the fixed-point MCU datapath")
+	adcBits := fs.Int("adcbits", 12, "ADC bit depth for -fxp (2-15)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -351,6 +487,10 @@ func runServe(args []string, g *globals) error {
 	cfg := saiyan.DefaultGatewayConfig()
 	cfg.Seed = g.seed
 	cfg.Workers = g.workers
+	if *useFxp {
+		cfg.Demod.Datapath = saiyan.DatapathFixed
+		cfg.Demod.ADCBits = *adcBits
+	}
 	cfg.Channels = *channels
 	cfg.Tags = g.tags
 	cfg.FramesPerTag = g.frames
@@ -377,13 +517,22 @@ func runServe(args []string, g *globals) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("epoch %2d: tags=%-2d frames=%d (+%d retx) fresh=%d cmds=%d/%d switches=%d hops=%d recals=%d atten=%v delivery=%.1f%% (%v)\n",
+		fxpNote := ""
+		if *useFxp {
+			fxpNote = fmt.Sprintf(" fxpCycles=%d", rep.FxpCycles)
+		}
+		fmt.Printf("epoch %2d: tags=%-2d frames=%d (+%d retx) fresh=%d cmds=%d/%d switches=%d hops=%d recals=%d atten=%v delivery=%.1f%%%s (%v)\n",
 			rep.Epoch, rep.TagsActive, rep.FramesScheduled, rep.Retransmits, rep.FreshDelivered,
 			rep.CmdsDelivered, rep.CmdsSent, rep.RateSwitches, rep.Hops, rep.Recalibrations,
-			rep.ChannelAttenDB, 100*rep.DeliveryRatio, rep.Elapsed.Round(time.Millisecond))
+			rep.ChannelAttenDB, 100*rep.DeliveryRatio, fxpNote, rep.Elapsed.Round(time.Millisecond))
 	}
 	snap := gw.Snapshot()
-	fmt.Printf("\n%v\n\nsessions:\n", snap)
+	fmt.Printf("\n%v\n", snap)
+	if *useFxp {
+		fmt.Printf("fxp datapath: %d MCU cycles across the run (price with energy.MCUBudget; Table 2 MCU: %.1f uW at 1%% duty)\n",
+			snap.FxpCycles, saiyan.MCUTable2UW)
+	}
+	fmt.Printf("\nsessions:\n")
 	for _, s := range snap.Sessions {
 		state := "active"
 		if !s.Active {

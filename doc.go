@@ -141,6 +141,37 @@
 // count for a fixed seed; see `saiyan serve`, examples/serve, and
 // BenchmarkGateway.
 //
+// # Fixed-point MCU datapath
+//
+// The paper's decode logic runs on a 19.6 uW MCU (and 2 uW of ASIC digital
+// logic, Section 4.3), not on float64. Setting Config.Datapath to
+// DatapathFixed swaps the payload decode stage for the integer subsystem in
+// internal/fxp: an ADC quantizes the sampler envelope into left-aligned
+// Q1.15 codes at Config.ADCBits (default 12), and both decoders — peak
+// tracking and template correlation — run in saturating integer arithmetic
+// with a division-free cross-multiplication compare and a LUT+Newton
+// integer square root. The knob threads through every workload: per-frame
+// pipelines, the continuous-stream decode path, and the gateway all honor
+// it, and `saiyan fxp` / `saiyan stream -fxp` / `saiyan serve -fxp`
+// exercise it from the CLI.
+//
+//	cfg := saiyan.DefaultPipelineConfig()
+//	cfg.Demod.Datapath = saiyan.DatapathFixed
+//	cfg.Demod.ADCBits = 12
+//	p, _ := saiyan.NewPipeline(cfg)
+//	// ... submit frames ...
+//	st := p.Drain()
+//	mcu := saiyan.DefaultMCUBudget()
+//	uw := mcu.DutyCycledPowerUW(st.FxpCycles, airtime, 0.01) // vs saiyan.MCUTable2UW
+//
+// The integer decode agrees with the float reference on >= 99 % of payload
+// symbols at moderate SNR (the parity harness sweeps SNR, coding rate, CFO,
+// and decoder mode), and is bit-exact deterministic — symbol stream and
+// cycle ledger both — at any worker count. Every integer operation is
+// counted into FxpOpCounts, priced by a Cortex-M4-class FxpCycleModel, and
+// converted to microwatts by MCUBudget for comparison against the Table 2
+// MCU entry. See examples/fxp and BenchmarkFxp*.
+//
 // # Trace format and compatibility
 //
 // Traces are format version 1 (internal/trace has the byte-level

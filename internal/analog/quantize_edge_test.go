@@ -1,0 +1,139 @@
+package analog
+
+import (
+	"math"
+	"testing"
+)
+
+// Quantization-edge coverage for the comparator and sampler — the two
+// analog stages the fixed-point datapath's ADC quantizer sits behind. The
+// fxp decoder inherits whatever these produce at the rails, so the rails
+// must be well defined: saturating inputs, empty windows, single samples.
+
+func TestComparatorQuantizeEdges(t *testing.T) {
+	c := Comparator{High: 1.0, Low: 0.5}
+
+	if got := c.Quantize(nil, nil); len(got) != 0 {
+		t.Errorf("empty input produced %d bits", len(got))
+	}
+	if got := c.Quantize(nil, []float64{2.0}); len(got) != 1 || !got[0] {
+		t.Errorf("single sample above U_H = %v, want [true]", got)
+	}
+	if got := c.Quantize(nil, []float64{0.75}); len(got) != 1 || got[0] {
+		t.Errorf("single sample in the hysteresis band from low state = %v, want [false]", got)
+	}
+
+	// Exact-threshold samples: Eq. (3) uses >=, so landing exactly on U_H
+	// sets the output and exactly on U_L holds it.
+	got := c.Quantize(nil, []float64{1.0, 0.5, 0.499})
+	if !got[0] || !got[1] || got[2] {
+		t.Errorf("threshold-exact sequence = %v, want [true true false]", got)
+	}
+
+	// Full-scale saturation: +Inf rails high, -Inf and NaN never latch
+	// (every comparison with NaN is false, so the state falls low).
+	got = c.Quantize(nil, []float64{math.Inf(1), math.Inf(-1), math.Inf(1), math.NaN()})
+	if !got[0] || got[1] || !got[2] || got[3] {
+		t.Errorf("saturating sequence = %v, want [true false true false]", got)
+	}
+
+	// A degenerate comparator (U_H == U_L) is a single threshold.
+	d := Comparator{High: 1, Low: 1}
+	got = d.Quantize(nil, []float64{1, 0.999, 1})
+	if !got[0] || got[1] || !got[2] {
+		t.Errorf("degenerate comparator = %v, want [true false true]", got)
+	}
+}
+
+func TestComparatorQuantizeReusesBuffer(t *testing.T) {
+	c := Comparator{High: 1, Low: 0}
+	buf := make([]bool, 0, 8)
+	out := c.Quantize(buf, []float64{2, 2, 2})
+	if &out[0] != &buf[:1][0] {
+		t.Error("Quantize reallocated despite sufficient capacity")
+	}
+	// Shrinking input reuses too and trims the length.
+	out2 := c.Quantize(out, []float64{2})
+	if len(out2) != 1 {
+		t.Errorf("len = %d after shrink", len(out2))
+	}
+}
+
+func TestSamplerEdges(t *testing.T) {
+	s := Sampler{Oversample: 4}
+
+	if got := s.SampleFloats(nil, nil); len(got) != 0 {
+		t.Errorf("empty input produced %d samples", len(got))
+	}
+	// Inputs shorter than the first sample point (mid-window trigger at
+	// Oversample/2) produce nothing — and OutputLen agrees.
+	for n := 0; n < 2; n++ {
+		in := make([]float64, n)
+		if got := s.SampleFloats(nil, in); len(got) != 0 {
+			t.Errorf("%d-sample input produced %v", n, got)
+		}
+		if got := s.OutputLen(n); got != 0 {
+			t.Errorf("OutputLen(%d) = %d, want 0", n, got)
+		}
+	}
+	// A single sample at the trigger point is captured.
+	in := []float64{0, 0, 7}
+	if got := s.SampleFloats(nil, in); len(got) != 1 || got[0] != 7 {
+		t.Errorf("trigger-point capture = %v, want [7]", got)
+	}
+
+	// Unity oversampling is the identity.
+	id := Sampler{Oversample: 1}
+	in = []float64{1, 2, 3}
+	got := id.SampleFloats(nil, in)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("unity sampler = %v, want input back", got)
+	}
+	if id.OutputLen(1) != 1 {
+		t.Errorf("unity OutputLen(1) = %d", id.OutputLen(1))
+	}
+
+	// Saturating values pass through untouched: the sampler is a switch,
+	// not a converter — clipping is the downstream ADC's job.
+	in = []float64{0, 0, math.Inf(1), 0, 0, 0, -1e308, 0}
+	got = s.SampleFloats(nil, in)
+	if len(got) != 2 || !math.IsInf(got[0], 1) || got[1] != -1e308 {
+		t.Errorf("full-scale passthrough = %v", got)
+	}
+}
+
+// TestSamplerLengthConsistency cross-checks the three length contracts —
+// OutputLen, SampleFloats, SampleBits — over every small input size and a
+// spread of oversampling factors, so window-extraction arithmetic
+// downstream can rely on one answer.
+func TestSamplerLengthConsistency(t *testing.T) {
+	for _, over := range []int{1, 2, 3, 4, 16} {
+		s := Sampler{Oversample: over}
+		for n := 0; n <= 64; n++ {
+			floats := make([]float64, n)
+			bits := make([]bool, n)
+			want := s.OutputLen(n)
+			if got := len(s.SampleFloats(nil, floats)); got != want {
+				t.Fatalf("over=%d n=%d: SampleFloats len %d, OutputLen %d", over, n, got, want)
+			}
+			if got := len(s.SampleBits(nil, bits)); got != want {
+				t.Fatalf("over=%d n=%d: SampleBits len %d, OutputLen %d", over, n, got, want)
+			}
+		}
+	}
+}
+
+func TestNewSamplerAndComparatorValidation(t *testing.T) {
+	if _, err := NewSampler(0); err == nil {
+		t.Error("NewSampler(0) accepted")
+	}
+	if _, err := NewSampler(-3); err == nil {
+		t.Error("NewSampler(-3) accepted")
+	}
+	if _, err := NewComparator(1, 2); err == nil {
+		t.Error("NewComparator with U_L > U_H accepted")
+	}
+	if _, err := NewComparator(2, 1); err != nil {
+		t.Errorf("valid comparator rejected: %v", err)
+	}
+}

@@ -71,6 +71,7 @@ func (d *Demodulator) AutoCalibrate(env []float64, agc AGCConfig) {
 	if d.cfg.Mode == ModeFull && d.templates == nil {
 		d.buildTemplates(templateNominalRSS)
 	}
+	d.syncFx()
 	d.calibrated = true
 }
 

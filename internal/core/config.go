@@ -46,10 +46,47 @@ func (m Mode) String() string {
 	return "unknown"
 }
 
+// Datapath selects the arithmetic of the payload decode stage.
+type Datapath int
+
+const (
+	// DatapathFloat is the float64 reference decoder.
+	DatapathFloat Datapath = iota
+	// DatapathFixed decodes with the Q1.15 integer MCU datapath
+	// (internal/fxp): the sampler envelope is quantized through an ADC at
+	// Config.ADCBits and both decoders run in saturating integer
+	// arithmetic with per-operation cycle accounting, modeling the
+	// prototype's 19.6 uW MCU / 2 uW ASIC digital logic (Section 4.3).
+	DatapathFixed
+)
+
+// String names the datapath for reports.
+func (dp Datapath) String() string {
+	switch dp {
+	case DatapathFloat:
+		return "float64"
+	case DatapathFixed:
+		return "fxp"
+	}
+	return "unknown"
+}
+
 // Config assembles a Saiyan demodulator.
 type Config struct {
 	Params lora.Params
 	Mode   Mode
+
+	// Datapath selects the float64 reference decoder or the fixed-point
+	// MCU datapath for the payload decode stage. Rendering, calibration,
+	// and preamble detection model the analog chain and stay float in
+	// either case; the datapaths diverge at the ADC.
+	Datapath Datapath
+
+	// ADCBits is the quantizer bit depth feeding DatapathFixed, 2..15.
+	// Default 12 (a SAR ADC class an MCU like the Apollo2 integrates).
+	// Validated regardless of datapath so a config stays switchable;
+	// only DatapathFixed consumes it.
+	ADCBits int
 
 	// SampleRateMultiplier scales the sampler rate relative to BW/2^(SF-K).
 	// The paper's conservative default is 3.2 (Section 2.3); Table 1 sweeps
@@ -126,6 +163,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Oversample%c.CorrOversample != 0 {
 		return c, fmt.Errorf("core: oversample %d not divisible by correlator oversample %d", c.Oversample, c.CorrOversample)
+	}
+	if c.Datapath != DatapathFloat && c.Datapath != DatapathFixed {
+		return c, fmt.Errorf("core: unknown datapath %d", c.Datapath)
+	}
+	if c.ADCBits == 0 {
+		c.ADCBits = 12
+	}
+	if c.ADCBits < 2 || c.ADCBits > 15 {
+		return c, fmt.Errorf("core: ADC bit depth %d outside [2, 15]", c.ADCBits)
 	}
 	if c.SAW == nil {
 		c.SAW = analog.PaperSAW()

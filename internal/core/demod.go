@@ -64,6 +64,7 @@ func (d *Demodulator) Calibrate(rssDBm float64, rng *rand.Rand) {
 		// lazy render.
 		d.detectionTemplate()
 	}
+	d.syncFx()
 	d.calibrated = true
 }
 
@@ -115,14 +116,46 @@ func (d *Demodulator) measureDecodeBias(rssDBm float64) float64 {
 	return sum / float64(n)
 }
 
+// templateStat caches the statistics windowCorrelation recomputed per
+// symbol: the template's mean and its zero-mean energy Σ(t-mt)². Both are
+// accumulated in exactly the order the exact two-pass computation uses, so
+// the fast path reproduces its scores bit for bit.
+type templateStat struct {
+	mean   float64
+	energy float64
+}
+
 // buildTemplates renders the noise-free correlator template for every
-// downlink symbol at the correlator rate.
+// downlink symbol at the correlator rate and precomputes each template's
+// mean and zero-mean energy for the one-pass hot path of
+// decodeByCorrelation. The stats only apply to full-length windows; when
+// the renders come out unequal in length (they never do today) the stats
+// are dropped and every window takes the exact fallback.
 func (d *Demodulator) buildTemplates(rssDBm float64) {
 	p := d.cfg.Params
 	d.templates = make([][]float64, p.AlphabetSize())
 	for s := range d.templates {
 		traj := p.FreqTrajectory(nil, p.SymbolValue(s), d.fsSim)
 		d.templates[s] = d.RenderCorrEnvelope(nil, traj, rssDBm, nil)
+	}
+	d.tmplStats = make([]templateStat, len(d.templates))
+	for s, tmpl := range d.templates {
+		if len(tmpl) == 0 || len(tmpl) != len(d.templates[0]) {
+			d.tmplStats = nil
+			return
+		}
+		n := len(tmpl)
+		var mt float64
+		for i := 0; i < n; i++ {
+			mt += tmpl[i]
+		}
+		mt /= float64(n)
+		var et float64
+		for i := 0; i < n; i++ {
+			b := tmpl[i] - mt
+			et += b * b
+		}
+		d.tmplStats[s] = templateStat{mean: mt, energy: et}
 	}
 }
 
@@ -146,9 +179,15 @@ func (d *Demodulator) DemodulatePayload(trajHz []float64, rssDBm float64, nSymbo
 	}
 	if d.cfg.Mode == ModeFull {
 		env := d.RenderCorrEnvelope(nil, trajHz, rssDBm, rng)
+		if d.fx != nil {
+			return d.fxDecodeCorr(env, nSymbols), nil
+		}
 		return d.decodeByCorrelation(env, nSymbols), nil
 	}
 	env := d.RenderEnvelope(nil, trajHz, rssDBm, rng)
+	if d.fx != nil {
+		return d.fxDecodePeak(env, nSymbols), nil
+	}
 	return d.decodeByPeakTracking(env, nSymbols), nil
 }
 
@@ -263,17 +302,56 @@ func (d *Demodulator) decodeByCorrelation(env []float64, nSymbols int) []int {
 			out[s] = 0
 			continue
 		}
-		win := env[lo:hi]
-		best, bestScore := 0, math.Inf(-1)
+		out[s] = d.bestTemplate(env[lo:hi])
+	}
+	return out
+}
+
+// bestTemplate ranks every template against one symbol window. Full-length
+// windows take the fast path: the window's mean and zero-mean energy are
+// hoisted out of the template loop and each template's mean/energy come
+// precomputed from buildTemplates, so every template costs one fused pass
+// over the window. The accumulation order matches windowCorrelation
+// exactly, so the scores — and therefore the decode — are bit-identical.
+// Truncated edge windows (shorter than the template) fall back to the
+// exact two-pass computation.
+func (d *Demodulator) bestTemplate(win []float64) int {
+	best, bestScore := 0, math.Inf(-1)
+	if d.tmplStats != nil && len(win) >= len(d.templates[0]) {
+		n := len(d.templates[0])
+		var mw float64
+		for i := 0; i < n; i++ {
+			mw += win[i]
+		}
+		mw /= float64(n)
+		var ew float64
+		for i := 0; i < n; i++ {
+			a := win[i] - mw
+			ew += a * a
+		}
 		for sym, tmpl := range d.templates {
-			score := windowCorrelation(win, tmpl)
+			st := d.tmplStats[sym]
+			var dot float64
+			for i := 0; i < n; i++ {
+				dot += (win[i] - mw) * (tmpl[i] - st.mean)
+			}
+			score := 0.0
+			if ew != 0 && st.energy != 0 {
+				score = dot / math.Sqrt(ew*st.energy)
+			}
 			if score > bestScore {
 				best, bestScore = sym, score
 			}
 		}
-		out[s] = best
+		return best
 	}
-	return out
+	for sym, tmpl := range d.templates {
+		score := windowCorrelation(win, tmpl)
+		if score > bestScore {
+			best, bestScore = sym, score
+		}
+	}
+	return best
 }
 
 // windowCorrelation computes the zero-mean cosine similarity between a

@@ -7,6 +7,7 @@ import (
 
 	"saiyan/internal/analog"
 	"saiyan/internal/dsp"
+	"saiyan/internal/fxp"
 )
 
 // Demodulator is a configured Saiyan tag receiver. Build with New, then
@@ -42,7 +43,16 @@ type Demodulator struct {
 	biasCached bool
 	cachedBias float64
 	templates  [][]float64
-	detTmpl    []float64 // one-symbol detection template (lazy)
+	// tmplStats precomputes each template's mean and zero-mean energy so
+	// the correlation decoder's hot loop makes a single fused pass per
+	// template; nil when template lengths are not uniform (exact fallback).
+	tmplStats []templateStat
+	detTmpl   []float64 // one-symbol detection template (lazy)
+
+	// fx is the fixed-point MCU datapath (Config.Datapath ==
+	// DatapathFixed): the payload decoders run on ADC-quantized integer
+	// samples instead of the float envelope. nil for DatapathFloat.
+	fx *fxp.Decoder
 
 	// Scratch buffers to keep the per-frame hot path allocation-free.
 	scratchIQ  []complex128
@@ -78,6 +88,18 @@ func New(cfg Config) (*Demodulator, error) {
 		d.bpf, err = dsp.NewBandPass(d.ifHz-half, d.ifHz+half, d.fsSim, 63, dsp.Hamming)
 		if err != nil {
 			return nil, fmt.Errorf("core: IF filter: %w", err)
+		}
+	}
+	if cfg.Datapath == DatapathFixed {
+		d.fx, err = fxp.NewDecoder(fxp.Config{
+			Params:              cfg.Params,
+			SimSamplesPerSymbol: d.spbSimInt,
+			SamplerDecim:        cfg.Oversample,
+			CorrDecim:           cfg.Oversample / cfg.CorrOversample,
+			ADCBits:             cfg.ADCBits,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: fixed-point datapath: %w", err)
 		}
 	}
 	return d, nil

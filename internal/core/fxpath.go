@@ -1,0 +1,69 @@
+package core
+
+// Fixed-point datapath integration. With Config.Datapath == DatapathFixed
+// the demodulator keeps rendering, calibrating, and detecting preambles in
+// float — those stages model analog voltages — but hands the payload decode
+// to internal/fxp: the envelope window is quantized through an ADC at
+// Config.ADCBits and decoded in saturating Q1.15 integer arithmetic, with a
+// per-operation cycle ledger the pipeline converts to MCU energy.
+
+import "saiyan/internal/fxp"
+
+// syncFx pushes the current float calibration into the fixed-point decoder:
+// the ADC full scale (anchored a quarter above the calibrated peak so
+// signal excursions keep headroom), the comparator thresholds as ADC codes,
+// the falling-edge bias in Q1.15, and — once per calibration lineage — the
+// quantized correlation templates. Called wherever the float side
+// (re)calibrates, so offline tables, AGC windows, and prewarmed stream
+// masters all keep the integer twin coherent.
+func (d *Demodulator) syncFx() {
+	if d.fx == nil {
+		return
+	}
+	fullScale := 1.25 * d.amax
+	if !(fullScale > 0) {
+		fullScale = 1
+	}
+	d.fx.SetThresholds(d.comparator.High, d.comparator.Low, fullScale)
+	d.fx.SetPeakBias(d.peakBias)
+	if d.cfg.Mode == ModeFull && d.templates != nil && !d.fx.HasTemplates() {
+		if err := d.fx.SetTemplates(d.templates); err != nil {
+			// buildTemplates renders equal-length, positive templates; a
+			// rejected bank means a core invariant broke, not bad input.
+			panic("core: fixed-point template bank: " + err.Error())
+		}
+	}
+}
+
+// fxDecodePeak quantizes a sampler-rate window through the ADC and decodes
+// it on the integer peak-tracking path.
+func (d *Demodulator) fxDecodePeak(env []float64, nSymbols int) []int {
+	return d.fx.DecodePeakTracking(d.fx.Quantize(env), nSymbols)
+}
+
+// fxDecodeCorr quantizes a correlator-rate window through the ADC and
+// decodes it on the integer correlation path.
+func (d *Demodulator) fxDecodeCorr(envC []float64, nSymbols int) []int {
+	return d.fx.DecodeCorrelation(d.fx.Quantize(envC), nSymbols)
+}
+
+// TakeFxpCycles returns and clears the cycle count the fixed-point datapath
+// accumulated since the last call, under its cycle model. It reports 0 when
+// the float datapath is active — the hook pipelines use to aggregate MCU
+// load without caring which datapath ran.
+func (d *Demodulator) TakeFxpCycles() uint64 {
+	if d.fx == nil {
+		return 0
+	}
+	return d.fx.TakeCycles()
+}
+
+// FxpOps returns the fixed-point datapath's accumulated per-operation
+// ledger (zero when the float datapath is active). The ledger is cleared by
+// TakeFxpCycles, not by this accessor.
+func (d *Demodulator) FxpOps() fxp.OpCounts {
+	if d.fx == nil {
+		return fxp.OpCounts{}
+	}
+	return d.fx.Ops()
+}

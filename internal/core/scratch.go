@@ -80,6 +80,12 @@ func (d *Demodulator) Clone() *Demodulator {
 	c.biasCached = d.biasCached
 	c.cachedBias = d.cachedBias
 	c.templates = d.templates
+	c.tmplStats = d.tmplStats
 	c.detTmpl = d.detTmpl
+	if d.fx != nil {
+		// Clone the integer twin too: private scratch and cycle ledger,
+		// shared immutable template bank.
+		c.fx = d.fx.Clone()
+	}
 	return c
 }

@@ -25,6 +25,10 @@ func (d *Demodulator) PrewarmAuto() {
 		}
 		d.detectionTemplate()
 	}
+	// Materialize the quantized template bank too, so stream workers clone
+	// a complete integer twin and per-window AutoCalibrate only re-anchors
+	// thresholds.
+	d.syncFx()
 }
 
 // DecodeStreamWindow demodulates one frame window extracted from a
@@ -65,10 +69,16 @@ func (d *Demodulator) decodePayloadAt(env, envC []float64, payloadAt, nSymbols i
 		if lo >= len(envC) {
 			return nil, true, nil
 		}
+		if d.fx != nil {
+			return d.fxDecodeCorr(envC[lo:], nSymbols), true, nil
+		}
 		return d.decodeByCorrelation(envC[lo:], nSymbols), true, nil
 	}
 	if payloadAt >= len(env) {
 		return nil, true, nil
+	}
+	if d.fx != nil {
+		return d.fxDecodePeak(env[payloadAt:], nSymbols), true, nil
 	}
 	return d.decodeByPeakTracking(env[payloadAt:], nSymbols), true, nil
 }

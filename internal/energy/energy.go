@@ -132,6 +132,62 @@ func ASICReduction() float64 {
 	return (pcb - asic) / pcb
 }
 
+// MCUBudget converts the fixed-point datapath's cycle ledger (internal/fxp)
+// into power, so a simulated decode can be priced against the Table 2 MCU
+// entry. The ledger reports the Apollo2 at MCUApollo2UW = 19.6 uW under 1 %
+// duty cycling, i.e. an active draw of 1.96 mW while its clock runs.
+type MCUBudget struct {
+	// ClockHz is the MCU core clock the cycle counts are divided by.
+	ClockHz float64
+	// ActiveUW is the draw while the clock runs demodulation work.
+	ActiveUW float64
+}
+
+// DefaultMCUBudget returns the prototype's Apollo2 at its 48 MHz maximum
+// clock with the active draw implied by Table 2 (19.6 uW at 1 % duty).
+func DefaultMCUBudget() MCUBudget {
+	return MCUBudget{ClockHz: 48e6, ActiveUW: MCUApollo2UW / 0.01}
+}
+
+// BusySeconds is how long the clock runs to retire the counted cycles.
+func (m MCUBudget) BusySeconds(cycles uint64) float64 {
+	if m.ClockHz <= 0 {
+		return 0
+	}
+	return float64(cycles) / m.ClockHz
+}
+
+// LoadFraction is the fraction of the span the MCU spends clocking the
+// counted cycles. A value above 1 means the datapath cannot keep up with
+// the air in real time.
+func (m MCUBudget) LoadFraction(cycles uint64, span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return m.BusySeconds(cycles) / span.Seconds()
+}
+
+// RealTime reports whether the counted cycles fit inside the span — the
+// paper's implicit constraint that the MCU decodes symbols as they arrive.
+func (m MCUBudget) RealTime(cycles uint64, span time.Duration) bool {
+	return m.LoadFraction(cycles, span) <= 1
+}
+
+// AveragePowerUW is the mean draw attributable to the datapath while
+// receiving: active power scaled by the load fraction (the clock gates off
+// between symbols, as the prototype's firmware sleeps between samples).
+func (m MCUBudget) AveragePowerUW(cycles uint64, span time.Duration) float64 {
+	return m.ActiveUW * m.LoadFraction(cycles, span)
+}
+
+// DutyCycledPowerUW rescales the receive-time draw to a listening duty
+// cycle — the accounting Table 2 uses (1 % duty, duty = 0.01). Comparing
+// the result against the ledger's MCU entry answers the paper's question
+// directly: does the digital decode fit in the microwatt budget?
+func (m MCUBudget) DutyCycledPowerUW(cycles uint64, span time.Duration, duty float64) float64 {
+	return m.AveragePowerUW(cycles, span) * duty
+}
+
 // Harvester models the palm-sized photovoltaic panel with the LTC3105
 // step-up converter: it "generates 1 mW power every 25.4 seconds in a
 // bright day" (Sections 1 and 4.1), i.e. it banks about 1 mJ per 25.4 s.

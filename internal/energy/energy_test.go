@@ -111,3 +111,38 @@ func TestConstantsSanity(t *testing.T) {
 		t.Error("power management constant drifted from Section 4.1")
 	}
 }
+
+func TestMCUBudgetReproducesTable2Entry(t *testing.T) {
+	m := DefaultMCUBudget()
+	// A datapath that saturates the clock for the whole span, duty-cycled
+	// to 1 %, is by construction the Table 2 MCU entry.
+	span := time.Second
+	cycles := uint64(m.ClockHz)
+	if got := m.AveragePowerUW(cycles, span); math.Abs(got-MCUApollo2UW/0.01) > 1e-9 {
+		t.Errorf("full-load active power = %g uW, want %g", got, MCUApollo2UW/0.01)
+	}
+	if got := m.DutyCycledPowerUW(cycles, span, 0.01); math.Abs(got-MCUApollo2UW) > 1e-9 {
+		t.Errorf("duty-cycled full load = %g uW, want the Table 2 entry %g", got, MCUApollo2UW)
+	}
+	// Half load costs half the power; real-time holds up to exactly 1x.
+	if got := m.DutyCycledPowerUW(cycles/2, span, 0.01); math.Abs(got-MCUApollo2UW/2) > 1e-6 {
+		t.Errorf("half load = %g uW, want %g", got, MCUApollo2UW/2)
+	}
+	if !m.RealTime(cycles, span) || m.RealTime(2*cycles, span) {
+		t.Error("RealTime boundary misplaced")
+	}
+	if got := m.BusySeconds(cycles); math.Abs(got-1) > 1e-12 {
+		t.Errorf("BusySeconds(clock) = %g, want 1", got)
+	}
+}
+
+func TestMCUBudgetDegenerate(t *testing.T) {
+	var zero MCUBudget
+	if zero.BusySeconds(1e9) != 0 || zero.AveragePowerUW(1e9, time.Second) != 0 {
+		t.Error("zero-clock budget must price everything at zero rather than dividing by zero")
+	}
+	m := DefaultMCUBudget()
+	if m.LoadFraction(123, 0) != 0 {
+		t.Error("zero span must not divide by zero")
+	}
+}

@@ -287,6 +287,7 @@ type aggregate struct {
 	rateSwitches     uint64
 	hops             uint64
 	recals           uint64
+	fxpCycles        uint64
 }
 
 // New validates cfg and places the initial deployment.
@@ -420,6 +421,11 @@ type EpochReport struct {
 
 	ChannelAttenDB []float64
 
+	// FxpCycles is the MCU cycle budget the fixed-point datapath spent on
+	// this epoch's decodes (0 under the float datapath); convert to
+	// microwatts with energy.MCUBudget.
+	FxpCycles uint64
+
 	// DeliveryRatio is the cumulative dedup-correct delivery over the whole
 	// run after this epoch.
 	DeliveryRatio float64
@@ -443,6 +449,7 @@ func (g *Gateway) RunEpoch() (EpochReport, error) {
 	preDelivered := g.agg.framesDelivered
 	preCmdsSent, preCmdsDel := g.agg.cmdsSent, g.agg.cmdsDelivered
 	preSwitch, preHops, preRecals := g.agg.rateSwitches, g.agg.hops, g.agg.recals
+	preFxp := g.agg.fxpCycles
 
 	plan := g.buildPlan(epoch)
 	if err := g.ingest(plan); err != nil {
@@ -466,6 +473,7 @@ func (g *Gateway) RunEpoch() (EpochReport, error) {
 		Hops:           int(g.agg.hops - preHops),
 		Recalibrations: int(g.agg.recals - preRecals),
 		FreshDelivered: int(g.agg.framesDelivered - preDelivered),
+		FxpCycles:      g.agg.fxpCycles - preFxp,
 		DeliveryRatio:  g.deliveryRatio(),
 		Elapsed:        time.Since(start),
 	}
@@ -542,6 +550,11 @@ type Snapshot struct {
 	Hops           uint64
 	Recalibrations uint64
 
+	// FxpCycles is the cumulative MCU cycle budget of the fixed-point
+	// datapath across every decode the gateway ran (0 under the float
+	// datapath); worker-count invariant like every other counter.
+	FxpCycles uint64
+
 	Channels []ChannelSnapshot
 	Sessions []SessionSnapshot // ascending tag ID
 }
@@ -599,6 +612,7 @@ func (g *Gateway) Snapshot() Snapshot {
 		RateSwitches:         g.agg.rateSwitches,
 		Hops:                 g.agg.hops,
 		Recalibrations:       g.agg.recals,
+		FxpCycles:            g.agg.fxpCycles,
 	}
 	load := make([]int, g.cfg.Channels)
 	for _, t := range g.tags {

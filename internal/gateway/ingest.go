@@ -249,8 +249,12 @@ func (g *Gateway) ingestRateGroup(groups []*ingestGroup) error {
 			}
 		}
 	}
-	p.Drain()
+	st := p.Drain()
 	<-done
+	// The fixed-point datapath's cycle ledger is deterministic per decode,
+	// so the gateway-wide sum is worker-count invariant like every other
+	// aggregate counter (0 under the float datapath).
+	g.agg.fxpCycles += st.FxpCycles
 	if submitErr != nil {
 		return submitErr
 	}

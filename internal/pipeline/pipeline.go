@@ -221,6 +221,7 @@ type Pipeline struct {
 	symbols        atomic.Uint64
 	symbolErrs     atomic.Uint64
 	simSamples     atomic.Uint64
+	fxpCycles      atomic.Uint64
 }
 
 // New validates cfg and starts the worker pool.
@@ -455,6 +456,7 @@ func (p *Pipeline) Stats() Stats {
 		Symbols:        p.symbols.Load(),
 		SymbolErrs:     p.symbolErrs.Load(),
 		SimSamples:     p.simSamples.Load(),
+		FxpCycles:      p.fxpCycles.Load(),
 		Elapsed:        elapsed,
 	}
 }
@@ -517,6 +519,9 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job) {
 		rng := dsp.NewRand(p.cfg.Seed, nseed)
 		res.Symbols, res.Detected, res.Err = d.ProcessFrameScratch(j.Frame, j.RSSDBm, rng, sc)
 		p.simSamples.Add(uint64(sc.Rendered))
+		if c := d.TakeFxpCycles(); c != 0 {
+			p.fxpCycles.Add(c)
+		}
 	case j.Env != nil:
 		// Stream decode: the envelope already exists; nothing is rendered
 		// and no noise shard is drawn — the capture carries its own noise
@@ -526,6 +531,9 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job) {
 			ws.streamD = p.streamBase().Clone()
 		}
 		res.Symbols, res.Detected, res.Err = ws.streamD.DecodeStreamWindow(j.Env, j.EnvC, j.NSymbols, p.cfg.AGC)
+		if c := ws.streamD.TakeFxpCycles(); c != 0 {
+			p.fxpCycles.Add(c)
+		}
 	default:
 		res.Err = errors.New("pipeline: job with neither frame nor envelope window")
 	}
@@ -609,7 +617,12 @@ type Stats struct {
 	Symbols        uint64 // ground-truth symbols compared
 	SymbolErrs     uint64 // ground-truth symbols decoded wrongly
 	SimSamples     uint64 // simulation-rate samples rendered
-	Elapsed        time.Duration
+	// FxpCycles is the MCU cycle count accumulated by the fixed-point
+	// datapath (core.DatapathFixed) across every decode; 0 under the
+	// float datapath. Deterministic for a fixed seed at any worker count;
+	// convert to microwatts with energy.MCUBudget.
+	FxpCycles uint64
+	Elapsed   time.Duration
 }
 
 // SER is the aggregate symbol error rate over checked frames.

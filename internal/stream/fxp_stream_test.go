@@ -1,0 +1,55 @@
+package stream
+
+import (
+	"testing"
+
+	"saiyan/internal/core"
+	"saiyan/internal/sim"
+)
+
+// TestStreamFxpDatapath runs the continuous-capture receive path with the
+// fixed-point decoder: recovery must track the float reference and the
+// pipeline must surface a worker-count-invariant cycle ledger — the stream
+// decode is a pure function of the capture, so the integer datapath's
+// budget is too.
+func TestStreamFxpDatapath(t *testing.T) {
+	capture := testCapture(t, 3, 4, sim.TimelineConfig{})
+	const chunk = 256
+
+	pcfg, scfg := testConfigs()
+	flStats, err := Demodulate(pcfg, scfg, capture, chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pcfg, scfg = testConfigs()
+	pcfg.Demod.Datapath = core.DatapathFixed
+	scfg.Demod.Datapath = core.DatapathFixed
+	var first Stats
+	for i, workers := range []int{1, 4} {
+		pcfg.Workers = workers
+		st, err := Demodulate(pcfg, scfg, capture, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FxpCycles == 0 {
+			t.Fatalf("workers=%d: stream decode reported no fxp cycles", workers)
+		}
+		if i == 0 {
+			first = st
+			continue
+		}
+		if !statsEqual(st, first) || st.FxpCycles != first.FxpCycles {
+			t.Errorf("workers=%d: fxp stream stats diverged:\n  %+v\nvs\n  %+v", workers, st, first)
+		}
+	}
+	if flStats.FxpCycles != 0 {
+		t.Errorf("float stream run accumulated %d fxp cycles", flStats.FxpCycles)
+	}
+	// The integer decoder sees the same extracted windows; recovery may
+	// differ by at most a frame or two of quantization-margin loss.
+	if first.FramesCorrect+1 < flStats.FramesCorrect {
+		t.Errorf("fxp recovery %d frames, float %d — more than one frame lost to quantization",
+			first.FramesCorrect, flStats.FramesCorrect)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"saiyan/internal/dsp"
 	"saiyan/internal/energy"
 	"saiyan/internal/experiments"
+	"saiyan/internal/fxp"
 	"saiyan/internal/gateway"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
@@ -41,6 +42,43 @@ const (
 	ModeFreqShift = core.ModeFreqShift
 	ModeFull      = core.ModeFull
 )
+
+// Fixed-point MCU datapath types (internal/fxp): the integer decode
+// subsystem modeling the prototype's digital logic — ADC quantization at a
+// configurable bit depth, Q1.15 saturating arithmetic, and per-operation
+// cycle accounting priced through the energy ledger.
+type (
+	// Datapath selects the arithmetic of the payload decode stage
+	// (Config.Datapath): the float64 reference or the Q1.15 integer path.
+	Datapath = core.Datapath
+	// ADC is the quantizer at the analog/digital boundary.
+	ADC = fxp.ADC
+	// FxpOpCounts is the integer datapath's per-operation ledger.
+	FxpOpCounts = fxp.OpCounts
+	// FxpCycleModel prices each operation class in MCU cycles.
+	FxpCycleModel = fxp.CycleModel
+	// MCUBudget converts a cycle ledger into microwatts for comparison
+	// against the Table 2 MCU entry.
+	MCUBudget = energy.MCUBudget
+)
+
+// Datapath selections for Config.Datapath.
+const (
+	DatapathFloat = core.DatapathFloat
+	DatapathFixed = core.DatapathFixed
+)
+
+// DefaultFxpCycleModel returns Cortex-M4-class operation timings (the core
+// inside the prototype's Apollo2 MCU).
+func DefaultFxpCycleModel() FxpCycleModel { return fxp.DefaultCycleModel() }
+
+// DefaultMCUBudget returns the Apollo2 at 48 MHz with the active draw
+// implied by Table 2 (19.6 uW at 1 % duty cycling).
+func DefaultMCUBudget() MCUBudget { return energy.DefaultMCUBudget() }
+
+// MCUTable2UW is the Table 2 MCU ledger entry in microwatts — the bar a
+// simulated cycle budget is compared against.
+const MCUTable2UW = energy.MCUApollo2UW
 
 // LoRa PHY types.
 type (
