@@ -10,6 +10,7 @@ package saiyan_test
 // EXPERIMENTS.md records.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -189,7 +190,7 @@ func benchStream(b *testing.B, workers, tags int) {
 	b.ResetTimer()
 	var last saiyan.StreamStats
 	for i := 0; i < b.N; i++ {
-		st, err := saiyan.DemodulateStream(pcfg, scfg, capture, 256)
+		st, err := saiyan.DemodulateStream(context.Background(), pcfg, scfg, capture, 256)
 		if err != nil {
 			b.Fatal(err)
 		}

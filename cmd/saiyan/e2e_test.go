@@ -1,0 +1,170 @@
+package main
+
+// End-to-end smoke over the real binary: build cmd/saiyan, start
+// `serve -listen` on loopback, attach subscribers (a `watch` process, a
+// deliberately slow in-process client, and a churn client that vanishes
+// mid-run), and assert the daemon finishes its epoch budget while the fast
+// client sees the stream and the slow client's drop accounting is
+// reported. The deterministic drop-forcing variant (tiny socket buffers)
+// lives in internal/server; this test covers the CLI wiring.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"saiyan"
+)
+
+func TestServeWatchE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e smoke builds and runs the binary; skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bin := filepath.Join(t.TempDir(), "saiyan")
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	const epochs = 10
+	serve := exec.CommandContext(ctx, bin, "serve",
+		"-listen", "127.0.0.1:0", "-epochs", fmt.Sprint(epochs),
+		"-tags", "4", "-frames", "2", "-workers", "2", "-gap", "300ms")
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serve.Stderr = nil
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon prints its bound address on the first line.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("serve printed nothing: %v", sc.Err())
+	}
+	first := sc.Text()
+	if !strings.HasPrefix(first, "serving on ") {
+		t.Fatalf("unexpected first serve line: %q", first)
+	}
+	addr := strings.Fields(strings.TrimPrefix(first, "serving on "))[0]
+	var serveRest strings.Builder
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			serveRest.WriteString(sc.Text())
+			serveRest.WriteByte('\n')
+		}
+	}()
+
+	// Fast subscriber: the watch subcommand, staying until the server's bye.
+	watch := exec.CommandContext(ctx, bin, "watch", addr)
+	watchOut := make(chan string, 1)
+	go func() {
+		out, err := watch.CombinedOutput()
+		if err != nil {
+			watchOut <- fmt.Sprintf("WATCH-ERROR %v\n%s", err, out)
+			return
+		}
+		watchOut <- string(out)
+	}()
+
+	// Slow subscriber: an in-process client that dawdles between reads and
+	// tracks the drop accounting the server reports about it.
+	slow, err := saiyan.DialServer(addr)
+	if err != nil {
+		t.Fatalf("slow client dial: %v", err)
+	}
+	defer slow.Close()
+	if err := slow.Subscribe(true, true); err != nil {
+		t.Fatal(err)
+	}
+	type slowResult struct {
+		statsSeen int
+		drops     uint64
+		err       error
+	}
+	slowDone := make(chan slowResult, 1)
+	go func() {
+		var res slowResult
+		for {
+			ev, err := slow.Next()
+			if err != nil {
+				res.err = err
+				slowDone <- res
+				return
+			}
+			switch ev.Kind {
+			case saiyan.ServerEventStats:
+				res.statsSeen++
+				if d := ev.Stats.FramesDropped + ev.Stats.MetricsDropped; d > res.drops {
+					res.drops = d
+				}
+			case saiyan.ServerEventBye:
+				slowDone <- res
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// Churn: connect, read one event, vanish without a goodbye.
+	churn, err := saiyan.DialServer(addr)
+	if err != nil {
+		t.Fatalf("churn client dial: %v", err)
+	}
+	if err := churn.Subscribe(true, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := churn.Next(); err != nil {
+		t.Fatalf("churn client first event: %v", err)
+	}
+	churn.Close()
+
+	if err := serve.Wait(); err != nil {
+		t.Fatalf("serve exited with %v", err)
+	}
+	<-drained
+
+	transcript := <-watchOut
+	if strings.HasPrefix(transcript, "WATCH-ERROR") {
+		t.Fatalf("watch failed:\n%s", transcript)
+	}
+	framesSeen := strings.Count(transcript, "\nframe ")
+	reportsSeen := strings.Count(transcript, "\nepoch ")
+	if framesSeen < 30 {
+		t.Errorf("watch saw %d frame lines, want >= 30:\n%s", framesSeen, transcript)
+	}
+	if reportsSeen < epochs/2 {
+		t.Errorf("watch saw %d epoch reports, want >= %d", reportsSeen, epochs/2)
+	}
+	if !strings.Contains(transcript, "bye: server shut down cleanly") {
+		t.Errorf("watch transcript misses the clean bye:\n%s", transcript)
+	}
+
+	res := <-slowDone
+	if res.err != nil && !errors.Is(res.err, io.EOF) {
+		t.Fatalf("slow client stream: %v", res.err)
+	}
+	if res.statsSeen == 0 {
+		t.Error("slow client never received its delivery/drop accounting")
+	}
+	t.Logf("watch: %d frames, %d reports; slow client: %d stats events, max %d drops reported",
+		framesSeen, reportsSeen, res.statsSeen, res.drops)
+
+	if !strings.Contains(serveRest.String(), fmt.Sprintf("epochs=%d", epochs)) {
+		t.Errorf("serve final snapshot misses epochs=%d:\n%s", epochs, serveRest.String())
+	}
+}

@@ -16,6 +16,13 @@
 //	saiyan serve [-channels C -tags M -frames F -epochs E -workers N ...]
 //	                                closed-loop gateway service: sessions,
 //	                                link adaptation, multi-channel ingest
+//	saiyan serve -listen HOST:PORT [-epochs E -gap D ...]
+//	                                same service as a network daemon: frames
+//	                                and metrics streamed over the wire
+//	                                protocol (-epochs 0 = until interrupted)
+//	saiyan watch [-frames -metrics -n N -rate T:K -rebalance] HOST:PORT
+//	                                subscribe to a serving gateway and print
+//	                                the live frame/metrics transcript
 //	saiyan fxp [-tags M -frames F -workers N -adcbits B]
 //	                                float vs fixed-point (MCU) datapath:
 //	                                parity, speed, cycle/energy budget
@@ -33,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,7 +77,8 @@ var subcommands = []subcommand{
 	{"record", "demodulate live traffic and record a trace", runRecord},
 	{"replay", "re-demodulate a recorded trace", runReplay},
 	{"stream", "demodulate a continuous multi-tag capture from raw samples", runStream},
-	{"serve", "closed-loop gateway: sessions, link adaptation, multi-channel ingest", runServe},
+	{"serve", "closed-loop gateway: sessions, link adaptation, multi-channel ingest; -listen serves the wire protocol", runServe},
+	{"watch", "subscribe to a serving gateway and print its live transcript", runWatch},
 	{"fxp", "compare the float and fixed-point (MCU) datapaths: parity, speed, cycle budget", runFxp},
 }
 
@@ -178,7 +187,7 @@ func runPipeline(g *globals) error {
 	if err != nil {
 		return err
 	}
-	st, err := p.Run(src)
+	st, err := p.Run(context.Background(), src)
 	if err != nil {
 		return err
 	}
@@ -218,7 +227,7 @@ func runRecord(args []string, g *globals) error {
 	cfg.Workers = g.workers
 	cfg.Seed = g.seed
 	cfg.DiscardResults = true
-	st, err := saiyan.RecordTrace(*out, cfg, src, *samples)
+	st, err := saiyan.RecordTrace(context.Background(), *out, cfg, src, *samples)
 	if err != nil {
 		return err
 	}
@@ -301,7 +310,7 @@ func runStream(args []string, g *globals) error {
 	}
 	pcfg.Demod = dcfg
 	scfg := saiyan.StreamConfig{Demod: dcfg, Seed: g.seed}
-	st, err := saiyan.DemodulateStream(pcfg, scfg, capture, *chunk)
+	st, err := saiyan.DemodulateStream(context.Background(), pcfg, scfg, capture, *chunk)
 	if err != nil {
 		return err
 	}
@@ -458,11 +467,16 @@ func parseDegradation(spec string) (saiyan.GatewayDegradation, error) {
 }
 
 // runServe runs the closed-loop gateway service for a number of epochs of
-// tag churn, printing per-epoch metrics and the final session registry.
+// tag churn. Without -listen it prints per-epoch metrics and the final
+// session registry; with -listen it becomes a daemon serving the wire
+// protocol (frames + metrics + control) until the epoch budget runs out or
+// the process is interrupted.
 func runServe(args []string, g *globals) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	channels := fs.Int("channels", 2, "concurrent ingest channels")
-	epochs := fs.Int("epochs", 6, "epochs to serve")
+	epochs := fs.Int("epochs", 6, "epochs to serve (0 with -listen = until interrupted)")
+	listen := fs.String("listen", "", "serve the wire protocol on this TCP address (e.g. 127.0.0.1:7316)")
+	gap := fs.Duration("gap", 0, "pause between epochs when listening (paces the stream for subscribers)")
 	fs.IntVar(&g.tags, "tags", g.tags, "initial tag population")
 	fs.IntVar(&g.frames, "frames", g.frames, "frames per tag per epoch")
 	fs.IntVar(&g.workers, "workers", g.workers, "demodulation workers per rate group (0 = one per CPU)")
@@ -480,8 +494,11 @@ func runServe(args []string, g *globals) error {
 	if extra := fs.Args(); len(extra) > 0 {
 		return fmt.Errorf("unexpected arguments %q", extra)
 	}
-	if *epochs < 1 {
+	if *listen == "" && *epochs < 1 {
 		return fmt.Errorf("-epochs %d < 1", *epochs)
+	}
+	if *listen != "" && *epochs < 0 {
+		return fmt.Errorf("-epochs %d < 0", *epochs)
 	}
 
 	cfg := saiyan.DefaultGatewayConfig()
@@ -510,10 +527,13 @@ func runServe(args []string, g *globals) error {
 	if err != nil {
 		return err
 	}
+	if *listen != "" {
+		return serveDaemon(gw, *listen, *epochs, *gap)
+	}
 	fmt.Printf("serve: %d channels, %d tags (join/%d leave/%d), %d epochs\n",
 		*channels, g.tags, *join, *leave, *epochs)
 	for i := 0; i < *epochs; i++ {
-		rep, err := gw.RunEpoch()
+		rep, err := gw.RunEpoch(context.Background())
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,169 @@
+package main
+
+// The network face of the CLI: `serve -listen` runs the gateway as a wire
+// protocol daemon, `watch` is its first client. Both sit on the saiyan
+// facade's server exports (NewServer / DialServer); the protocol itself is
+// documented in internal/server.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"saiyan"
+)
+
+// serveDaemon exposes a built gateway over TCP until the epoch budget is
+// spent (epochs > 0) or the process is interrupted. The bound address is
+// printed on the first stdout line so callers that asked for port 0 can
+// find the server.
+func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration) error {
+	srv, err := saiyan.NewServer(saiyan.ServerConfig{
+		Gateway:  gw,
+		Addr:     listen,
+		Epochs:   epochs,
+		EpochGap: gap,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "saiyan: serve: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving on %s (protocol v%d, epochs=%d); watch with 'saiyan watch %s'\n",
+		srv.Addr(), saiyan.ServerProtocolVersion, epochs, srv.Addr())
+	if err := srv.Serve(ctx); err != nil {
+		return err
+	}
+	snap := gw.Snapshot()
+	fmt.Printf("\n%v\n", snap)
+	return nil
+}
+
+// parseRateOverride parses a -rate spec: exactly tag:k, where tag -1 means
+// every deployed tag.
+func parseRateOverride(spec string) (tag, k int, err error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -rate %q (want tag:k)", spec)
+	}
+	if tag, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, fmt.Errorf("bad -rate tag %q: %w", parts[0], err)
+	}
+	if k, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, fmt.Errorf("bad -rate k %q: %w", parts[1], err)
+	}
+	return tag, k, nil
+}
+
+// runWatch subscribes to a serving gateway and prints the live transcript:
+// one line per frame decode and per epoch report, plus this client's own
+// delivery/drop accounting.
+func runWatch(args []string, _ *globals) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	frames := fs.Bool("frames", true, "subscribe to per-frame decode events")
+	metrics := fs.Bool("metrics", true, "subscribe to per-epoch metrics")
+	n := fs.Int("n", 0, "leave after N epoch reports (0 = stay until the server says bye)")
+	rate := fs.String("rate", "", "send a one-shot rate override as tag:k (tag -1 = all tags)")
+	rebalance := fs.Bool("rebalance", false, "ask the server to rebalance tags across channels once")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one server address, got %d arguments", fs.NArg())
+	}
+	c, err := saiyan.DialServer(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	h := c.Hello()
+	fmt.Printf("connected to %s: protocol v%d, %d channels, %d tags active, %d epochs served\n",
+		fs.Arg(0), h.Protocol, h.Channels, h.TagsActive, h.Epochs)
+	if err := c.Subscribe(*frames, *metrics); err != nil {
+		return err
+	}
+	if *rate != "" {
+		tag, k, err := parseRateOverride(*rate)
+		if err != nil {
+			return err
+		}
+		if err := c.OverrideRate(tag, k); err != nil {
+			return err
+		}
+	}
+	if *rebalance {
+		if err := c.Rebalance(); err != nil {
+			return err
+		}
+	}
+
+	reports := 0
+	for {
+		ev, err := c.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("server closed the connection without a bye")
+			}
+			return err
+		}
+		switch ev.Kind {
+		case saiyan.ServerEventFrame:
+			printFrameEvent(ev.Frame)
+		case saiyan.ServerEventEpoch:
+			rep := ev.Epoch
+			fmt.Printf("epoch %2d: tags=%-2d frames=%d (+%d retx) fresh=%d cmds=%d/%d switches=%d hops=%d delivery=%.1f%%\n",
+				rep.Epoch, rep.TagsActive, rep.FramesScheduled, rep.Retransmits, rep.FreshDelivered,
+				rep.CmdsDelivered, rep.CmdsSent, rep.RateSwitches, rep.Hops, 100*rep.DeliveryRatio)
+			reports++
+			if *n > 0 && reports >= *n {
+				fmt.Printf("watched %d epoch report(s); leaving\n", reports)
+				return nil
+			}
+		case saiyan.ServerEventSnapshot:
+			s := ev.Snapshot
+			fmt.Printf("snapshot: epochs=%d tags=%d/%d delivered=%d/%d switches=%d hops=%d recals=%d\n",
+				s.Epochs, s.TagsActive, s.TagsSeen, s.FramesDelivered, s.FramesScheduled,
+				s.RateSwitches, s.Hops, s.Recalibrations)
+		case saiyan.ServerEventStats:
+			st := ev.Stats
+			fmt.Printf("you: epoch %d frames %d sent/%d dropped, metrics %d sent/%d dropped\n",
+				st.Epoch, st.FramesSent, st.FramesDropped, st.MetricsSent, st.MetricsDropped)
+		case saiyan.ServerEventError:
+			fmt.Printf("server error: %s\n", ev.Err)
+		case saiyan.ServerEventBye:
+			fmt.Println("bye: server shut down cleanly")
+			return nil
+		}
+	}
+}
+
+// printFrameEvent renders one per-frame decode outcome as a transcript line.
+func printFrameEvent(f saiyan.GatewayFrameEvent) {
+	verdict := "missed"
+	switch {
+	case f.Correct && f.Fresh:
+		verdict = "fresh"
+	case f.Correct:
+		verdict = "dup"
+	case f.Detected:
+		verdict = fmt.Sprintf("errs=%d", f.SymbolErrs)
+	}
+	retx := ""
+	if f.Retransmit {
+		retx = " retx"
+	}
+	fmt.Printf("frame e=%d ch=%d tag=%d K=%d seq=%d rss=%.1fdBm %s%s\n",
+		f.Epoch, f.Channel, f.Tag, f.RateK, f.Seq, f.RSSDBm, verdict, retx)
+}

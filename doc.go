@@ -70,7 +70,7 @@
 //	src, _ := saiyan.NewTagTrafficSource(tags, 8)       // live generated traffic
 //	cfg := saiyan.DefaultPipelineConfig()
 //	cfg.Seed, cfg.DiscardResults = seed, true
-//	live, _ := saiyan.RecordTrace("run.trace.gz", cfg, src, false)
+//	live, _ := saiyan.RecordTrace(ctx, "run.trace.gz", cfg, src, false)
 //
 //	replayed, _ := saiyan.ReplayTrace("run.trace.gz", 0) // fresh pipeline, any worker count
 //	_, mismatches, _ := saiyan.VerifyTrace("run.trace.gz", 4)
@@ -96,7 +96,7 @@
 //	pcfg := saiyan.DefaultPipelineConfig()
 //	pcfg.Seed, pcfg.DiscardResults = seed, true
 //	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: seed}
-//	st, _ := saiyan.DemodulateStream(pcfg, scfg, capture, 256 /* chunk samples */)
+//	st, _ := saiyan.DemodulateStream(ctx, pcfg, scfg, capture, 256 /* chunk samples */)
 //	// st.Recovery(): scheduled frames decoded error-free
 //
 // RenderTimeline schedules every tag's frames along one timeline (idle
@@ -123,7 +123,7 @@
 //	cfg.Seed, cfg.Channels, cfg.Tags = seed, 2, 8
 //	cfg.Degrade = []saiyan.GatewayDegradation{{Epoch: 2, Channel: 0, AttenDB: 12}}
 //	gw, _ := saiyan.NewGateway(cfg)
-//	reports, _ := gw.Run(6)        // epochs of churn: joins, leaves, mobility
+//	reports, _ := gw.Run(ctx, 6)   // epochs of churn: joins, leaves, mobility
 //	snap := gw.Snapshot()          // per-tag sessions + aggregate, deterministic
 //	// snap.DeliveryRatio(): unique frames delivered error-free / scheduled
 //
@@ -140,6 +140,42 @@
 // to the simulated deployment. Snapshots are byte-identical at any worker
 // count for a fixed seed; see `saiyan serve`, examples/serve, and
 // BenchmarkGateway.
+//
+// # Serving over the network
+//
+// A gateway can be served over TCP: NewServer binds a listener, Serve runs
+// the epoch loop, and any number of concurrent subscribers receive the
+// per-frame decode events and per-epoch metrics over a versioned,
+// CRC-framed wire protocol (ServerProtocolVersion; internal/server holds
+// the byte-level grammar). The same connection carries an operator control
+// plane: pause/resume, rate overrides, channel-plan swaps, and server-side
+// frame capture:
+//
+//	gw, _ := saiyan.NewGateway(cfg)
+//	srv, _ := saiyan.NewServer(saiyan.ServerConfig{Gateway: gw, Epochs: 10})
+//	go srv.Serve(ctx)                        // cancel ctx to stop early
+//
+//	c, _ := saiyan.DialServer(srv.Addr().String())
+//	c.Subscribe(true, true)                  // frame events + epoch metrics
+//	c.OverrideRate(-1, 3)                    // control: force K=3 on every tag
+//	for {
+//		ev, err := c.Next()                  // ServerEventFrame, -Epoch, -Snapshot, ...
+//		if err != nil || ev.Kind == saiyan.ServerEventBye { break }
+//	}
+//
+// Subscribers can never stall the service: each client owns bounded send
+// queues, a fanout that would block drops the message and counts it, and
+// the per-epoch ServerClientStats message reports the drop counters back
+// to the affected client. Control requests are fire-and-forget and are
+// applied by the epoch loop at epoch boundaries — rejections come back
+// asynchronously as ServerEventError — so the determinism invariant
+// survives serving: the same control sequence at the same boundaries
+// yields byte-identical snapshots at any worker count. Server-side
+// captures (ServerClient.StartCapture / StopCapture) record the frame
+// stream in the wire format; ReadFrameCapture loads them back, returning
+// partial results alongside ErrServerTruncated for files cut short.
+// `saiyan serve -listen` and `saiyan watch` are the CLI faces of this
+// layer; examples/wire is the single-process walkthrough.
 //
 // # Fixed-point MCU datapath
 //

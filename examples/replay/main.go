@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 	cfg := saiyan.DefaultPipelineConfig()
 	cfg.Seed = seed
 	cfg.DiscardResults = true
-	live, err := saiyan.RecordTrace(path, cfg, src, false)
+	live, err := saiyan.RecordTrace(context.Background(), path, cfg, src, false)
 	if err != nil {
 		log.Fatalf("recording: %v", err)
 	}

@@ -34,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 
 	fmt.Println("closed-loop gateway: 2 channels, 8 tags, 12 dB jammer on channel 0 from epoch 2")
 	for epoch := 0; epoch < 8; epoch++ {
-		rep, err := gw.RunEpoch()
+		rep, err := gw.RunEpoch(context.Background())
 		if err != nil {
 			log.Fatalf("epoch %d: %v", epoch, err)
 		}

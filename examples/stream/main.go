@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,7 +65,7 @@ func main() {
 	pcfg.Seed = seed
 	pcfg.DiscardResults = true
 	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: seed}
-	st, err := saiyan.DemodulateStream(pcfg, scfg, capture, chunkSamples)
+	st, err := saiyan.DemodulateStream(context.Background(), pcfg, scfg, capture, chunkSamples)
 	if err != nil {
 		log.Fatalf("demodulating stream: %v", err)
 	}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -23,7 +24,7 @@ func BenchmarkGateway(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if _, err := g.Run(2); err != nil {
+					if _, err := g.Run(context.Background(), 2); err != nil {
 						b.Fatal(err)
 					}
 					snap := g.Snapshot()

@@ -32,10 +32,12 @@ func (g *Gateway) fold(plan *epochPlan) {
 				g.agg.symbolsChecked += uint64(len(ev.Want))
 				g.agg.symbolErrs += uint64(o.symbolErrs)
 			}
+			fresh := false
 			if o.correct {
 				s.snr.push(ev.RSSDBm - g.noiseFloorDB)
 				s.offset.push(math.Abs(float64(o.offset)))
 				if s.markDelivered(ev.Seq) {
+					fresh = true
 					g.agg.framesDelivered++
 					if isRetx {
 						s.retxRecovered++
@@ -46,6 +48,26 @@ func (g *Gateway) fold(plan *epochPlan) {
 				}
 			} else {
 				s.markMissing(ev.Seq)
+			}
+			if g.frameHook != nil {
+				errs := -1
+				if o.decoded && o.symbolErrs >= 0 {
+					errs = o.symbolErrs
+				}
+				g.frameHook(FrameEvent{
+					Epoch:         plan.epoch,
+					Channel:       grp.channel,
+					Tag:           ev.Tag,
+					RateK:         grp.k,
+					Seq:           ev.Seq,
+					Retransmit:    isRetx,
+					Detected:      o.detected,
+					Correct:       o.correct,
+					Fresh:         fresh,
+					SymbolErrs:    errs,
+					OffsetSamples: o.offset,
+					RSSDBm:        ev.RSSDBm,
+				})
 			}
 		}
 	}

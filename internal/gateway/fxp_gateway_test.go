@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestGatewayFxpDatapath(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reports, err := g.Run(epochs)
+		reports, err := g.Run(context.Background(), epochs)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -26,6 +26,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -266,7 +267,46 @@ type Gateway struct {
 	// corrupt the deployment model (double-applied degradations, repeated
 	// joins). A failed gateway refuses further epochs instead.
 	err error
+
+	// frameHook, when set, receives every scheduled transmission's decode
+	// outcome during the epoch's result fold — in schedule order, on the
+	// RunEpoch goroutine. See SetFrameHook.
+	frameHook func(FrameEvent)
 }
+
+// FrameEvent is the per-frame slice of one epoch: the decode outcome of a
+// single scheduled transmission, emitted in schedule order (never worker
+// completion order) so the event stream is deterministic for a fixed seed.
+type FrameEvent struct {
+	Epoch   int    `json:"epoch"`
+	Channel int    `json:"channel"`
+	Tag     int    `json:"tag"`
+	RateK   int    `json:"rate_k"`
+	Seq     uint64 `json:"seq"` // per-tag payload sequence number
+
+	Retransmit bool `json:"retransmit,omitempty"` // scheduled by the retransmission loop
+	Detected   bool `json:"detected,omitempty"`   // a matched window found the preamble
+	Correct    bool `json:"correct,omitempty"`    // decoded with zero symbol errors
+	Fresh      bool `json:"fresh,omitempty"`      // first error-free delivery of this Seq
+
+	// SymbolErrs counts wrongly decoded symbols; -1 when no matched window
+	// produced a scored decode.
+	SymbolErrs int `json:"symbol_errs"`
+	// OffsetSamples is the detection offset of the matched window in
+	// sampler samples (0 when the frame was never matched).
+	OffsetSamples int64 `json:"offset_samples"`
+	// RSSDBm is the frame's received signal strength after channel
+	// attenuation.
+	RSSDBm float64 `json:"rss_dbm"`
+}
+
+// SetFrameHook installs fn as the per-frame event sink: every scheduled
+// transmission's outcome is delivered during the epoch fold, in schedule
+// order, on the goroutine driving RunEpoch. The hook must be fast or hand
+// off — it runs inside the epoch loop. Install it before serving epochs;
+// installing or swapping it concurrently with RunEpoch is a race. A nil fn
+// removes the hook.
+func (g *Gateway) SetFrameHook(fn func(FrameEvent)) { g.frameHook = fn }
 
 type noiseStats struct{ baseline, sigma float64 }
 
@@ -404,33 +444,39 @@ func (g *Gateway) leastLoadedChannel() int {
 	return best
 }
 
-// EpochReport summarizes one served epoch.
+// EpochReport summarizes one served epoch. The JSON field names are the
+// wire protocol's versioned metrics schema (internal/server); they are
+// stable — new fields may be added, existing names never change meaning.
 type EpochReport struct {
-	Epoch      int
-	TagsActive int
+	Epoch      int `json:"epoch"`
+	TagsActive int `json:"tags_active"`
 
-	FramesScheduled int // transmissions this epoch (regular + retransmits)
-	Retransmits     int // retransmissions among them
-	FreshDelivered  int // unique frames first delivered this epoch
-	WindowsEmitted  int
+	FramesScheduled int `json:"frames_scheduled"` // transmissions this epoch (regular + retransmits)
+	Retransmits     int `json:"retransmits"`      // retransmissions among them
+	FreshDelivered  int `json:"fresh_delivered"`  // unique frames first delivered this epoch
+	WindowsEmitted  int `json:"windows_emitted"`
 
-	CmdsSent, CmdsDelivered int
-	RateSwitches            int
-	Hops                    int
-	Recalibrations          int
+	CmdsSent       int `json:"cmds_sent"`
+	CmdsDelivered  int `json:"cmds_delivered"`
+	RateSwitches   int `json:"rate_switches"`
+	Hops           int `json:"hops"`
+	Recalibrations int `json:"recalibrations"`
 
-	ChannelAttenDB []float64
+	ChannelAttenDB []float64 `json:"channel_atten_db"`
 
 	// FxpCycles is the MCU cycle budget the fixed-point datapath spent on
 	// this epoch's decodes (0 under the float datapath); convert to
 	// microwatts with energy.MCUBudget.
-	FxpCycles uint64
+	FxpCycles uint64 `json:"fxp_cycles,omitempty"`
 
 	// DeliveryRatio is the cumulative dedup-correct delivery over the whole
 	// run after this epoch.
-	DeliveryRatio float64
+	DeliveryRatio float64 `json:"delivery_ratio"`
 
-	Elapsed time.Duration
+	// Elapsed is wall-clock serving time in nanoseconds. It is the one
+	// non-deterministic field; wire consumers comparing snapshots across
+	// runs should ignore it.
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // RunEpoch serves one epoch: churn, multi-channel ingest, session fold,
@@ -438,9 +484,23 @@ type EpochReport struct {
 // An epoch failure is latched: the deployment model may already carry this
 // epoch's churn and degradations, so the gateway refuses to serve further
 // epochs rather than re-applying them.
-func (g *Gateway) RunEpoch() (EpochReport, error) {
+//
+// Cancelling ctx aborts the epoch between ingest submissions; because the
+// epoch is then half-served, cancellation latches like any other epoch
+// failure. Callers wanting a resumable pause stop *between* RunEpoch calls
+// instead. A nil ctx behaves like context.Background().
+func (g *Gateway) RunEpoch(ctx context.Context) (EpochReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if g.err != nil {
 		return EpochReport{}, g.err
+	}
+	if err := ctx.Err(); err != nil {
+		// Nothing of this epoch has been applied yet: refusing up front is
+		// NOT latched, so a gateway survives a cancelled call that never
+		// started.
+		return EpochReport{}, err
 	}
 	start := time.Now()
 	epoch := g.epoch
@@ -452,7 +512,7 @@ func (g *Gateway) RunEpoch() (EpochReport, error) {
 	preFxp := g.agg.fxpCycles
 
 	plan := g.buildPlan(epoch)
-	if err := g.ingest(plan); err != nil {
+	if err := g.ingest(ctx, plan); err != nil {
 		g.err = fmt.Errorf("gateway: epoch %d: %w", epoch, err)
 		return EpochReport{}, g.err
 	}
@@ -486,14 +546,17 @@ func (g *Gateway) RunEpoch() (EpochReport, error) {
 	return rep, nil
 }
 
-// Run serves n epochs and returns their reports.
-func (g *Gateway) Run(n int) ([]EpochReport, error) {
+// Run serves n epochs and returns their reports. Cancelling ctx stops the
+// loop before the next epoch starts (and aborts a mid-flight epoch the way
+// RunEpoch documents); reports of completed epochs are returned alongside
+// the error.
+func (g *Gateway) Run(ctx context.Context, n int) ([]EpochReport, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("gateway: %d epochs < 1", n)
 	}
 	reports := make([]EpochReport, 0, n)
 	for i := 0; i < n; i++ {
-		rep, err := g.RunEpoch()
+		rep, err := g.RunEpoch(ctx)
 		if err != nil {
 			return reports, err
 		}
@@ -514,49 +577,51 @@ func (g *Gateway) deliveryRatio() float64 {
 }
 
 // ChannelSnapshot is the externally visible state of one ingest channel.
+// JSON field names are part of the wire protocol's stable metrics schema.
 type ChannelSnapshot struct {
-	Channel       int
-	AttenDB       float64
-	Tags          int
-	NoiseBaseline float64 // hunt demodulator no-signal envelope baseline
-	NoiseSigma    float64 // hunt demodulator envelope noise deviation
+	Channel       int     `json:"channel"`
+	AttenDB       float64 `json:"atten_db"`
+	Tags          int     `json:"tags"`
+	NoiseBaseline float64 `json:"noise_baseline"` // hunt demodulator no-signal envelope baseline
+	NoiseSigma    float64 `json:"noise_sigma"`    // hunt demodulator envelope noise deviation
 }
 
 // Snapshot is the gateway's full deterministic metrics state: for a fixed
-// Config it is byte-identical at any worker count.
+// Config it is byte-identical at any worker count. JSON field names are
+// part of the wire protocol's stable metrics schema (internal/server).
 type Snapshot struct {
-	Epochs     int
-	TagsSeen   int
-	TagsActive int
+	Epochs     int `json:"epochs"`
+	TagsSeen   int `json:"tags_seen"`
+	TagsActive int `json:"tags_active"`
 
 	// Dedup-correct frame accounting: unique frames only.
-	FramesScheduled uint64
-	FramesDelivered uint64
-	FramesDuplicate uint64
+	FramesScheduled uint64 `json:"frames_scheduled"`
+	FramesDelivered uint64 `json:"frames_delivered"`
+	FramesDuplicate uint64 `json:"frames_duplicate"`
 
-	RetransmitsScheduled uint64
-	RetransmitsRecovered uint64
+	RetransmitsScheduled uint64 `json:"retransmits_scheduled"`
+	RetransmitsRecovered uint64 `json:"retransmits_recovered"`
 
-	WindowsEmitted   uint64
-	WindowsUnmatched uint64
-	SymbolsChecked   uint64
-	SymbolErrs       uint64
+	WindowsEmitted   uint64 `json:"windows_emitted"`
+	WindowsUnmatched uint64 `json:"windows_unmatched"`
+	SymbolsChecked   uint64 `json:"symbols_checked"`
+	SymbolErrs       uint64 `json:"symbol_errs"`
 
-	CmdsSent      uint64
-	CmdsDelivered uint64
-	CmdsMissed    uint64
+	CmdsSent      uint64 `json:"cmds_sent"`
+	CmdsDelivered uint64 `json:"cmds_delivered"`
+	CmdsMissed    uint64 `json:"cmds_missed"`
 
-	RateSwitches   uint64
-	Hops           uint64
-	Recalibrations uint64
+	RateSwitches   uint64 `json:"rate_switches"`
+	Hops           uint64 `json:"hops"`
+	Recalibrations uint64 `json:"recalibrations"`
 
 	// FxpCycles is the cumulative MCU cycle budget of the fixed-point
 	// datapath across every decode the gateway ran (0 under the float
 	// datapath); worker-count invariant like every other counter.
-	FxpCycles uint64
+	FxpCycles uint64 `json:"fxp_cycles,omitempty"`
 
-	Channels []ChannelSnapshot
-	Sessions []SessionSnapshot // ascending tag ID
+	Channels []ChannelSnapshot `json:"channels"`
+	Sessions []SessionSnapshot `json:"sessions"` // ascending tag ID
 }
 
 // DeliveryRatio is the cumulative dedup-correct delivery: unique frames
@@ -638,4 +703,85 @@ func (g *Gateway) params(k int) lora.Params {
 	p := g.cfg.Demod.Params
 	p.K = k
 	return p
+}
+
+// Operator control plane. These methods mutate the deployment model the
+// way a delivered downlink command would, and therefore must be called
+// between epochs, on the goroutine driving RunEpoch (the protocol server
+// serializes them with the epoch loop). They take effect on the next
+// epoch's schedule. Because they are caller-driven, determinism is
+// preserved: the same call sequence at the same epoch boundaries yields
+// byte-identical snapshots at any worker count.
+
+// OverrideRate forces tag's downlink rate to k, bypassing the rate
+// adapter for this epoch boundary (the control loop may re-adapt later
+// unless the operator keeps overriding). tag < 0 applies the override to
+// every deployed tag.
+func (g *Gateway) OverrideRate(tag, k int) error {
+	if g.err != nil {
+		return g.err
+	}
+	if k < g.cfg.Adapter.MinK || k > g.cfg.Adapter.MaxK {
+		return fmt.Errorf("gateway: rate K=%d outside adapter bounds [%d, %d]", k, g.cfg.Adapter.MinK, g.cfg.Adapter.MaxK)
+	}
+	apply := func(t *tagState) {
+		if t.rateK != k {
+			t.rateK = k
+			g.sessions[t.id].rateSwitches++
+			g.agg.rateSwitches++
+		}
+	}
+	if tag < 0 {
+		for _, id := range g.aliveIDs() {
+			apply(g.tags[id])
+		}
+		return nil
+	}
+	t, ok := g.tags[tag]
+	if !ok {
+		return fmt.Errorf("gateway: tag %d not deployed", tag)
+	}
+	apply(t)
+	return nil
+}
+
+// MoveTag reassigns tag to the given ingest channel (an operator-forced
+// channel hop).
+func (g *Gateway) MoveTag(tag, channel int) error {
+	if g.err != nil {
+		return g.err
+	}
+	if channel < 0 || channel >= g.cfg.Channels {
+		return fmt.Errorf("gateway: channel %d of %d", channel, g.cfg.Channels)
+	}
+	t, ok := g.tags[tag]
+	if !ok {
+		return fmt.Errorf("gateway: tag %d not deployed", tag)
+	}
+	if t.channel != channel {
+		t.channel = channel
+		g.sessions[tag].hops++
+		g.agg.hops++
+	}
+	return nil
+}
+
+// Rebalance re-deals every deployed tag across the ingest channels
+// round-robin in ascending tag order — a full channel-plan swap. It
+// reports how many tags changed channel.
+func (g *Gateway) Rebalance() (moved int, err error) {
+	if g.err != nil {
+		return 0, g.err
+	}
+	for i, id := range g.aliveIDs() {
+		ch := i % g.cfg.Channels
+		t := g.tags[id]
+		if t.channel != ch {
+			t.channel = ch
+			g.sessions[id].hops++
+			g.agg.hops++
+			moved++
+		}
+	}
+	return moved, nil
 }

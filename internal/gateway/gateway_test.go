@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -41,7 +42,7 @@ func TestGatewayEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		reports, err := g.Run(epochs)
+		reports, err := g.Run(context.Background(), epochs)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -123,7 +124,7 @@ func TestGatewayRecoversAfterDegradation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := g.Run(6); err != nil {
+		if _, err := g.Run(context.Background(), 6); err != nil {
 			t.Fatal(err)
 		}
 		return g.Snapshot()
@@ -183,7 +184,7 @@ func TestRunRejectsNonPositiveEpochs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.Run(0); err == nil {
+	if _, err := g.Run(context.Background(), 0); err == nil {
 		t.Error("Run(0) accepted")
 	}
 }
@@ -196,7 +197,7 @@ func TestEpochFailureLatches(t *testing.T) {
 	// An epoch failure leaves half-applied churn behind; the gateway must
 	// refuse to serve further epochs rather than re-applying it.
 	g.err = errSentinel
-	if _, err := g.RunEpoch(); err != errSentinel {
+	if _, err := g.RunEpoch(context.Background()); err != errSentinel {
 		t.Fatalf("RunEpoch after failure returned %v, want the latched error", err)
 	}
 	if g.epoch != 0 {
@@ -359,7 +360,7 @@ func TestSnapshotStableAcrossCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.Run(2); err != nil {
+	if _, err := g.Run(context.Background(), 2); err != nil {
 		t.Fatal(err)
 	}
 	a, b := g.Snapshot(), g.Snapshot()

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -113,7 +114,7 @@ func (g *Gateway) huntRSS(grp *ingestGroup) float64 {
 // across that rate's channels. Decode results are folded back into each
 // group's per-event outcomes in schedule order, so the fold is independent
 // of worker scheduling.
-func (g *Gateway) ingest(plan *epochPlan) error {
+func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 	if len(plan.groups) == 0 {
 		return nil
 	}
@@ -146,7 +147,7 @@ func (g *Gateway) ingest(plan *epochPlan) error {
 		for hi < len(plan.groups) && plan.groups[hi].k == plan.groups[lo].k {
 			hi++
 		}
-		if err := g.ingestRateGroup(plan.groups[lo:hi]); err != nil {
+		if err := g.ingestRateGroup(ctx, plan.groups[lo:hi]); err != nil {
 			return err
 		}
 		lo = hi
@@ -196,7 +197,9 @@ type jobMeta struct {
 // ingestRateGroup drives one rate's groups through a shared pipeline:
 // submission pulls one window at a time from each group's source in
 // round-robin, results are collected and replayed in submission order.
-func (g *Gateway) ingestRateGroup(groups []*ingestGroup) error {
+// Cancelling ctx aborts between submissions; windows already submitted
+// still decode before Drain returns.
+func (g *Gateway) ingestRateGroup(ctx context.Context, groups []*ingestGroup) error {
 	pcfg := pipeline.Config{
 		Demod:   g.cfg.Demod,
 		Workers: g.cfg.Workers,
@@ -224,6 +227,10 @@ func (g *Gateway) ingestRateGroup(groups []*ingestGroup) error {
 	var submitErr error
 	for live > 0 && submitErr == nil {
 		for gi := range groups {
+			if err := ctx.Err(); err != nil {
+				submitErr = err
+				break
+			}
 			if exhausted[gi] {
 				continue
 			}

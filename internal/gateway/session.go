@@ -135,30 +135,31 @@ func (s *session) markDelivered(seq uint64) (fresh bool) {
 }
 
 // SessionSnapshot is the externally visible state of one tag's session.
+// JSON field names are part of the wire protocol's stable metrics schema.
 type SessionSnapshot struct {
-	Tag     int
-	Channel int
-	RateK   int
-	Active  bool
+	Tag     int  `json:"tag"`
+	Channel int  `json:"channel"`
+	RateK   int  `json:"rate_k"`
+	Active  bool `json:"active"`
 
-	Scheduled  uint64 // unique frames scheduled
-	Delivered  uint64 // unique frames delivered error-free
-	Duplicates uint64 // correct decodes beyond the first
-	Pending    int    // frames still awaiting retransmission
+	Scheduled  uint64 `json:"scheduled"`  // unique frames scheduled
+	Delivered  uint64 `json:"delivered"`  // unique frames delivered error-free
+	Duplicates uint64 `json:"duplicates"` // correct decodes beyond the first
+	Pending    int    `json:"pending"`    // frames still awaiting retransmission
 
-	RetransmitsScheduled uint64
-	RetransmitsRecovered uint64
+	RetransmitsScheduled uint64 `json:"retransmits_scheduled"`
+	RetransmitsRecovered uint64 `json:"retransmits_recovered"`
 
 	// Sliding-window link accounting.
-	WindowPRR     float64 // delivery ratio over the recent schedule window
-	SNREstDB      float64 // control loop's current SNR belief
-	MeanAbsOffset float64 // mean |detection offset| in sampler samples
+	WindowPRR     float64 `json:"window_prr"`      // delivery ratio over the recent schedule window
+	SNREstDB      float64 `json:"snr_est_db"`      // control loop's current SNR belief
+	MeanAbsOffset float64 `json:"mean_abs_offset"` // mean |detection offset| in sampler samples
 
-	RateSwitches   uint64
-	Hops           uint64
-	Recalibrations uint64
-	CmdsDelivered  uint64
-	CmdsMissed     uint64
+	RateSwitches   uint64 `json:"rate_switches"`
+	Hops           uint64 `json:"hops"`
+	Recalibrations uint64 `json:"recalibrations"`
+	CmdsDelivered  uint64 `json:"cmds_delivered"`
+	CmdsMissed     uint64 `json:"cmds_missed"`
 }
 
 // PRR is the session's lifetime unique-frame delivery ratio.

@@ -606,23 +606,27 @@ func countSymbolErrs(want, got []int) int {
 	return errs
 }
 
-// Stats is an aggregate snapshot of a pipeline's work.
+// Stats is an aggregate snapshot of a pipeline's work. JSON field names
+// are part of the wire protocol's stable metrics schema (internal/server):
+// stream.Stats embeds this struct in its payloads.
 type Stats struct {
-	Workers        int
-	FramesIn       uint64 // frames accepted by Submit
-	FramesOut      uint64 // frames fully processed
-	FramesDetected uint64 // frames whose preamble was found
-	FramesChecked  uint64 // frames submitted with ground truth
-	FramesCorrect  uint64 // checked frames decoded without symbol error
-	Symbols        uint64 // ground-truth symbols compared
-	SymbolErrs     uint64 // ground-truth symbols decoded wrongly
-	SimSamples     uint64 // simulation-rate samples rendered
+	Workers        int    `json:"workers"`
+	FramesIn       uint64 `json:"frames_in"`       // frames accepted by Submit
+	FramesOut      uint64 `json:"frames_out"`      // frames fully processed
+	FramesDetected uint64 `json:"frames_detected"` // frames whose preamble was found
+	FramesChecked  uint64 `json:"frames_checked"`  // frames submitted with ground truth
+	FramesCorrect  uint64 `json:"frames_correct"`  // checked frames decoded without symbol error
+	Symbols        uint64 `json:"symbols"`         // ground-truth symbols compared
+	SymbolErrs     uint64 `json:"symbol_errs"`     // ground-truth symbols decoded wrongly
+	SimSamples     uint64 `json:"sim_samples"`     // simulation-rate samples rendered
 	// FxpCycles is the MCU cycle count accumulated by the fixed-point
 	// datapath (core.DatapathFixed) across every decode; 0 under the
 	// float datapath. Deterministic for a fixed seed at any worker count;
 	// convert to microwatts with energy.MCUBudget.
-	FxpCycles uint64
-	Elapsed   time.Duration
+	FxpCycles uint64 `json:"fxp_cycles,omitempty"`
+	// Elapsed is wall-clock processing time in nanoseconds (the one
+	// non-deterministic field).
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // SER is the aggregate symbol error rate over checked frames.

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -32,7 +33,7 @@ func Replay(r *trace.Reader, workers int) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	return p.Run(NewTraceSource(r))
+	return p.Run(context.Background(), NewTraceSource(r))
 }
 
 // VerifyReplay replays an open trace and compares every decode against the

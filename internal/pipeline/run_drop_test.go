@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -47,7 +48,7 @@ func TestRunCountsDroppedFrames(t *testing.T) {
 	// filling: the second batch (frames 8..15) is pulled, fails to submit,
 	// and must be reported dropped; the loop then stops pulling.
 	src := &drainingSource{jobs: jobs, drainAt: 10, drain: func() { p.Drain() }}
-	st, err := p.Run(src)
+	st, err := p.Run(context.Background(), src)
 	if err == nil {
 		t.Fatal("Run with a mid-loop Drain returned no error")
 	}
@@ -81,7 +82,7 @@ func TestRunCountsDroppedTailFlush(t *testing.T) {
 	// Drain on the final pull: the 8-frame batch went through, the 4-frame
 	// tail cannot be submitted.
 	src := &drainingSource{jobs: jobs, drainAt: 11, drain: func() { p.Drain() }}
-	st, err := p.Run(src)
+	st, err := p.Run(context.Background(), src)
 	if err == nil {
 		t.Fatal("Run with a tail-flush Drain returned no error")
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -38,7 +39,15 @@ const runBatch = 8
 // failure means someone called Drain concurrently — are reported in the
 // returned error together with their count, so no pulled frame ever
 // disappears silently.
-func (p *Pipeline) Run(src Source) (Stats, error) {
+//
+// Cancelling ctx stops the run between source pulls: frames already pulled
+// are still submitted and complete (they are counted in the returned
+// Stats), and Run returns ctx's error. A nil ctx behaves like
+// context.Background().
+func (p *Pipeline) Run(ctx context.Context, src Source) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var drainWG sync.WaitGroup
 	if !p.cfg.DiscardResults {
 		drainWG.Add(1)
@@ -52,6 +61,10 @@ func (p *Pipeline) Run(src Source) (Stats, error) {
 	dropped := 0
 	batch := make([]Job, 0, runBatch)
 	for {
+		if err := ctx.Err(); err != nil {
+			srcErr = err
+			break
+		}
 		j, err := src.Next()
 		if err == io.EOF {
 			break

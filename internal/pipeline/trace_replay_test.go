@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"io"
@@ -52,7 +53,7 @@ func recordToBuffer(t testing.TB, cfg Config, src Source, samples bool) ([]byte,
 	if err := p.Record(w, samples); err != nil {
 		t.Fatal(err)
 	}
-	st, err := p.Run(src)
+	st, err := p.Run(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestGoldenTraceReplay(t *testing.T) {
 		if err := p.Record(w, false); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Run(src); err != nil {
+		if _, err := p.Run(context.Background(), src); err != nil {
 			t.Fatal(err)
 		}
 		if err := w.Close(); err != nil {
@@ -349,7 +350,7 @@ func TestRunMatchesManualSubmit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ran, err := p.Run(src)
+	ran, err := p.Run(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}

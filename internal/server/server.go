@@ -1,0 +1,625 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"saiyan/internal/gateway"
+)
+
+// Config assembles a protocol server around a gateway. The zero value of
+// every field except Gateway is usable: defaults are documented per field
+// and filled by New.
+type Config struct {
+	// Gateway is the closed-loop service to expose. Required; the server
+	// owns its epoch loop and frame hook from New until Serve returns.
+	Gateway *gateway.Gateway
+
+	// Addr is the TCP listen address. Default "127.0.0.1:0" (loopback,
+	// kernel-assigned port — read it back with Addr).
+	Addr string
+
+	// Epochs stops the server after serving this many epochs. 0 serves
+	// until the Serve context is cancelled.
+	Epochs int
+
+	// EpochGap idles between epochs, pacing the stream for human
+	// consumers. Default 0 (serve back to back).
+	EpochGap time.Duration
+
+	// FrameQueue bounds each client's pending frame-event messages.
+	// When the queue is full the epoch loop drops the event for that
+	// client and counts the drop — it never blocks. Default 256.
+	FrameQueue int
+
+	// MetricsQueue bounds each client's pending metrics messages (epoch
+	// reports, snapshots, client stats), same drop policy. Default 16.
+	MetricsQueue int
+
+	// WriteTimeout is the per-message write deadline; a client that
+	// cannot accept a write within it is disconnected. Default 5s.
+	WriteTimeout time.Duration
+
+	// Logf, when set, receives server lifecycle lines (client connects,
+	// drops, control rejections). Default: silent.
+	Logf func(format string, args ...any)
+
+	// tuneConn, when set, adjusts each accepted connection before the
+	// handshake. Test hook: shrinking socket buffers makes a non-reading
+	// subscriber exert real backpressure at test scale.
+	tuneConn func(net.Conn)
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Gateway == nil {
+		return c, fmt.Errorf("server: Config.Gateway is required")
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Epochs < 0 {
+		return c, fmt.Errorf("server: %d epochs < 0", c.Epochs)
+	}
+	if c.FrameQueue == 0 {
+		c.FrameQueue = 256
+	}
+	if c.MetricsQueue == 0 {
+		c.MetricsQueue = 16
+	}
+	if c.FrameQueue < 1 || c.MetricsQueue < 1 {
+		return c, fmt.Errorf("server: queue bounds %d/%d < 1", c.FrameQueue, c.MetricsQueue)
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c, nil
+}
+
+// Hello is the server's first message to every client: the protocol
+// version and a summary of the service state at connect time.
+type Hello struct {
+	Protocol   int `json:"protocol"`
+	Epochs     int `json:"epochs"` // epochs served so far
+	TagsActive int `json:"tags_active"`
+	Channels   int `json:"channels"`
+}
+
+// ClientStats is the per-subscriber delivery accounting the server sends
+// after every epoch: how many messages this client received and how many
+// the backpressure policy dropped because its queues were full.
+type ClientStats struct {
+	Epoch          int    `json:"epoch"`
+	FramesSent     uint64 `json:"frames_sent"`
+	FramesDropped  uint64 `json:"frames_dropped"`
+	MetricsSent    uint64 `json:"metrics_sent"`
+	MetricsDropped uint64 `json:"metrics_dropped"`
+}
+
+// client is one connected subscriber.
+type client struct {
+	conn net.Conn
+	name string
+
+	subFrames  atomic.Bool
+	subMetrics atomic.Bool
+
+	// frames and metrics carry fully framed messages; the epoch loop
+	// enqueues without ever blocking (drop-and-count on a full queue) and
+	// the client's writer goroutine drains them to the socket.
+	frames  chan []byte
+	metrics chan []byte
+
+	// stop tells the writer to drain what is queued, send bye, and close.
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	framesSent     atomic.Uint64
+	framesDropped  atomic.Uint64
+	metricsSent    atomic.Uint64
+	metricsDropped atomic.Uint64
+}
+
+// controlOp is one decoded control request awaiting the epoch boundary.
+type controlOp struct {
+	from  *client
+	typ   byte
+	tag   int
+	k     int
+	moves []TagMove
+	path  string
+}
+
+// Server runs a gateway epoch loop and serves its streams over TCP.
+// Construct with New, run with Serve, find the bound address with Addr.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	clients map[*client]struct{}
+	hello   Hello
+	closing bool
+
+	control chan controlOp
+	paused  bool
+
+	capture *captureWriter
+
+	wg sync.WaitGroup
+}
+
+// New validates cfg and binds the listen socket, so Addr is routable
+// before Serve starts. The gateway must not be driven by anyone else
+// between New and Serve returning.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		clients: make(map[*client]struct{}),
+		control: make(chan controlOp, 64),
+	}
+	snap := cfg.Gateway.Snapshot()
+	s.hello = Hello{
+		Protocol:   Version,
+		Epochs:     snap.Epochs,
+		TagsActive: snap.TagsActive,
+		Channels:   len(snap.Channels),
+	}
+	return s, nil
+}
+
+// Addr is the bound listen address ("127.0.0.1:43125").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close releases the listen socket of a server that was never (or is no
+// longer) serving. A running Serve call closes it itself on return.
+func (s *Server) Close() error { return s.ln.Close() }
+
+// Serve runs the epoch loop until ctx is cancelled or cfg.Epochs are
+// served, fanning out frame events and metrics to subscribers and applying
+// queued control requests at epoch boundaries. It returns nil on a clean
+// stop (cancellation or epoch-count completion) and the epoch error if the
+// gateway fails. Serve blocks; run it on its own goroutine if the caller
+// needs to do anything else.
+func (s *Server) Serve(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g := s.cfg.Gateway
+	g.SetFrameHook(s.onFrame)
+	defer g.SetFrameHook(nil)
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+
+	var serveErr error
+	served := 0
+	for ctx.Err() == nil {
+		s.drainControl(ctx)
+		if ctx.Err() != nil {
+			break
+		}
+		rep, err := g.RunEpoch(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				break // cancelled mid-epoch: a clean stop, not a serving failure
+			}
+			serveErr = err
+			break
+		}
+		s.publishEpoch(rep)
+		served++
+		if s.cfg.Epochs > 0 && served >= s.cfg.Epochs {
+			break
+		}
+		if s.cfg.EpochGap > 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(s.cfg.EpochGap):
+			}
+		}
+	}
+
+	s.shutdown()
+	if s.capture != nil {
+		if err := s.capture.Close(); err != nil && serveErr == nil {
+			serveErr = err
+		}
+		s.capture = nil
+	}
+	return serveErr
+}
+
+// acceptLoop admits clients until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: shutdown
+		}
+		s.wg.Add(1)
+		go s.admit(conn)
+	}
+}
+
+// admit performs the handshake and starts the client's reader and writer.
+func (s *Server) admit(conn net.Conn) {
+	defer s.wg.Done()
+	if s.cfg.tuneConn != nil {
+		s.cfg.tuneConn(conn)
+	}
+	deadline := time.Now().Add(s.cfg.WriteTimeout)
+	conn.SetDeadline(deadline)
+	if err := writePrelude(conn); err != nil {
+		conn.Close()
+		return
+	}
+	if err := readPrelude(conn); err != nil {
+		s.cfg.Logf("server: %s rejected: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	hello := s.hello
+	closing := s.closing
+	s.mu.Unlock()
+	payload, err := json.Marshal(hello)
+	if err == nil {
+		err = writeMsg(conn, msgHello, payload)
+	}
+	if err != nil || closing {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	c := &client{
+		conn:    conn,
+		name:    conn.RemoteAddr().String(),
+		frames:  make(chan []byte, s.cfg.FrameQueue),
+		metrics: make(chan []byte, s.cfg.MetricsQueue),
+		stop:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.clients[c] = struct{}{}
+	s.mu.Unlock()
+	s.cfg.Logf("server: %s connected", c.name)
+
+	s.wg.Add(2)
+	go s.readLoop(c)
+	go s.writeLoop(c)
+}
+
+// drop removes a client and closes its connection. Idempotent.
+func (s *Server) drop(c *client) {
+	s.mu.Lock()
+	_, present := s.clients[c]
+	delete(s.clients, c)
+	s.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.conn.Close()
+	if present {
+		s.cfg.Logf("server: %s disconnected", c.name)
+	}
+}
+
+// readLoop decodes control messages from one client and queues them for
+// the epoch loop. Subscription changes apply immediately.
+func (s *Server) readLoop(c *client) {
+	defer s.wg.Done()
+	defer s.drop(c)
+	for {
+		typ, payload, err := readMsg(c.conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case msgSubscribe:
+			d := &decoder{buf: payload}
+			mask := d.u8()
+			if d.done() != nil {
+				s.reject(c, fmt.Errorf("%w: malformed subscribe", ErrCorrupt))
+				continue
+			}
+			c.subFrames.Store(mask&subFrames != 0)
+			c.subMetrics.Store(mask&subMetrics != 0)
+		case msgPause, msgResume, msgCaptureStop:
+			s.enqueue(controlOp{from: c, typ: typ})
+		case msgRateOverride:
+			tag, k, err := decodeRateOverride(payload)
+			if err != nil {
+				s.reject(c, err)
+				continue
+			}
+			s.enqueue(controlOp{from: c, typ: typ, tag: tag, k: k})
+		case msgChannelPlan:
+			moves, err := decodeChannelPlan(payload)
+			if err != nil {
+				s.reject(c, err)
+				continue
+			}
+			s.enqueue(controlOp{from: c, typ: typ, moves: moves})
+		case msgCaptureStart:
+			path, err := decodeString(payload)
+			if err != nil {
+				s.reject(c, err)
+				continue
+			}
+			s.enqueue(controlOp{from: c, typ: typ, path: path})
+		default:
+			s.reject(c, fmt.Errorf("%w: 0x%02x", ErrUnknownType, typ))
+		}
+	}
+}
+
+// enqueue hands a control op to the epoch loop. The control queue is
+// bounded but deep; a client that floods it faster than epochs drain it
+// has its op dropped with an error message rather than blocking the reader
+// forever.
+func (s *Server) enqueue(op controlOp) {
+	select {
+	case s.control <- op:
+	default:
+		s.reject(op.from, fmt.Errorf("server: control queue full, request dropped"))
+	}
+}
+
+// reject sends an asynchronous error message back to the offending client
+// (through its bounded metrics queue, so even rejections cannot block).
+func (s *Server) reject(c *client, err error) {
+	s.cfg.Logf("server: %s request rejected: %v", c.name, err)
+	payload, merr := json.Marshal(map[string]string{"error": err.Error()})
+	if merr != nil {
+		return
+	}
+	s.send(c, c.metrics, appendMsg(nil, msgError, payload), &c.metricsSent, &c.metricsDropped)
+}
+
+// send enqueues one framed message without blocking: a full queue counts a
+// drop instead. This is the whole backpressure policy.
+func (s *Server) send(c *client, queue chan []byte, msg []byte, sent, dropped *atomic.Uint64) {
+	select {
+	case queue <- msg:
+		sent.Add(1)
+	default:
+		dropped.Add(1)
+	}
+}
+
+// writeLoop drains one client's queues to its socket. Metrics messages are
+// preferred over frames when both are pending, so epoch reports survive a
+// frame flood. On stop it drains what is queued, sends bye, and closes.
+func (s *Server) writeLoop(c *client) {
+	defer s.wg.Done()
+	write := func(msg []byte) bool {
+		c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		_, err := c.conn.Write(msg)
+		return err == nil
+	}
+	for {
+		// Prefer metrics, then frames, then wait for either or stop.
+		select {
+		case msg := <-c.metrics:
+			if !write(msg) {
+				s.drop(c)
+				return
+			}
+			continue
+		default:
+		}
+		select {
+		case msg := <-c.metrics:
+			if !write(msg) {
+				s.drop(c)
+				return
+			}
+		case msg := <-c.frames:
+			if !write(msg) {
+				s.drop(c)
+				return
+			}
+		case <-c.stop:
+			for drained := false; !drained; {
+				select {
+				case msg := <-c.metrics:
+					if !write(msg) {
+						return
+					}
+				case msg := <-c.frames:
+					if !write(msg) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			write(appendMsg(nil, msgBye, nil))
+			c.conn.Close()
+			return
+		}
+	}
+}
+
+// onFrame is the gateway frame hook: it runs on the epoch-loop goroutine,
+// in schedule order, and must never block — capture appends locally,
+// fanout drops on full queues.
+func (s *Server) onFrame(ev gateway.FrameEvent) {
+	if s.capture != nil {
+		s.capture.Write(ev)
+	}
+	var msg []byte
+	s.mu.Lock()
+	for c := range s.clients {
+		if !c.subFrames.Load() {
+			continue
+		}
+		if msg == nil {
+			msg = appendMsg(nil, msgFrame, encodeFrameEvent(make([]byte, 0, frameEventBytes), ev))
+		}
+		s.send(c, c.frames, msg, &c.framesSent, &c.framesDropped)
+	}
+	s.mu.Unlock()
+}
+
+// publishEpoch fans out the per-epoch metrics: the epoch report and a full
+// snapshot to every metrics subscriber, then each client's own delivery
+// stats.
+func (s *Server) publishEpoch(rep gateway.EpochReport) {
+	snap := s.cfg.Gateway.Snapshot()
+	repJSON, err := json.Marshal(rep)
+	if err != nil {
+		s.cfg.Logf("server: epoch report marshal: %v", err)
+		return
+	}
+	snapJSON, err := json.Marshal(snap)
+	if err != nil {
+		s.cfg.Logf("server: snapshot marshal: %v", err)
+		return
+	}
+	repMsg := appendMsg(nil, msgEpoch, repJSON)
+	snapMsg := appendMsg(nil, msgSnapshot, snapJSON)
+
+	s.mu.Lock()
+	s.hello = Hello{
+		Protocol:   Version,
+		Epochs:     snap.Epochs,
+		TagsActive: snap.TagsActive,
+		Channels:   len(snap.Channels),
+	}
+	for c := range s.clients {
+		if !c.subMetrics.Load() {
+			continue
+		}
+		s.send(c, c.metrics, repMsg, &c.metricsSent, &c.metricsDropped)
+		s.send(c, c.metrics, snapMsg, &c.metricsSent, &c.metricsDropped)
+		stats := ClientStats{
+			Epoch:          rep.Epoch,
+			FramesSent:     c.framesSent.Load(),
+			FramesDropped:  c.framesDropped.Load(),
+			MetricsSent:    c.metricsSent.Load(),
+			MetricsDropped: c.metricsDropped.Load(),
+		}
+		if payload, err := json.Marshal(stats); err == nil {
+			s.send(c, c.metrics, appendMsg(nil, msgClientStats, payload), &c.metricsSent, &c.metricsDropped)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// drainControl applies queued control requests at the epoch boundary.
+// While paused it blocks here — the gateway is untouched — until a resume
+// arrives or the context ends.
+func (s *Server) drainControl(ctx context.Context) {
+	for {
+		select {
+		case op := <-s.control:
+			s.apply(op)
+		default:
+			if !s.paused {
+				return
+			}
+			select {
+			case op := <-s.control:
+				s.apply(op)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// apply executes one control request against the gateway (epoch-loop
+// goroutine, between epochs — the only place gateway mutation is legal
+// while serving).
+func (s *Server) apply(op controlOp) {
+	var err error
+	switch op.typ {
+	case msgPause:
+		s.paused = true
+		s.cfg.Logf("server: paused by %s", op.from.name)
+	case msgResume:
+		s.paused = false
+		s.cfg.Logf("server: resumed by %s", op.from.name)
+	case msgRateOverride:
+		err = s.cfg.Gateway.OverrideRate(op.tag, op.k)
+	case msgChannelPlan:
+		if len(op.moves) == 0 {
+			var moved int
+			moved, err = s.cfg.Gateway.Rebalance()
+			if err == nil {
+				s.cfg.Logf("server: rebalanced %d tags for %s", moved, op.from.name)
+			}
+		} else {
+			for _, m := range op.moves {
+				if err = s.cfg.Gateway.MoveTag(m.Tag, m.Channel); err != nil {
+					break
+				}
+			}
+		}
+	case msgCaptureStart:
+		if s.capture != nil {
+			err = fmt.Errorf("server: capture already running (%s)", s.capture.path)
+			break
+		}
+		var cw *captureWriter
+		if cw, err = newCaptureWriter(op.path); err == nil {
+			s.capture = cw
+			s.cfg.Logf("server: capturing frame events to %s", op.path)
+		}
+	case msgCaptureStop:
+		if s.capture == nil {
+			err = fmt.Errorf("server: no capture running")
+			break
+		}
+		err = s.capture.Close()
+		s.capture = nil
+	}
+	if err != nil {
+		s.reject(op.from, err)
+	}
+}
+
+// shutdown stops accepting, tells every client's writer to drain and send
+// bye, and waits for all goroutines.
+func (s *Server) shutdown() {
+	s.ln.Close()
+	s.mu.Lock()
+	s.closing = true
+	clients := make([]*client, 0, len(s.clients))
+	for c := range s.clients {
+		clients = append(clients, c)
+	}
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.stopOnce.Do(func() { close(c.stop) })
+	}
+	s.wg.Wait()
+	s.mu.Lock()
+	for c := range s.clients {
+		delete(s.clients, c)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"saiyan/internal/gateway"
+)
+
+const testSeed = 20220404
+
+// testGateway builds a small, fast deployment for serving tests.
+func testGateway(t *testing.T, workers int) *gateway.Gateway {
+	t.Helper()
+	cfg := gateway.DefaultConfig()
+	cfg.Seed = testSeed
+	cfg.Workers = workers
+	cfg.Channels = 2
+	cfg.Tags = 5
+	cfg.FramesPerTag = 2
+	g, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSendDropPolicy pins the backpressure contract at the unit level: a
+// full queue counts a drop, never blocks.
+func TestSendDropPolicy(t *testing.T) {
+	s := &Server{}
+	c := &client{frames: make(chan []byte, 1)}
+	for i := 0; i < 3; i++ {
+		s.send(c, c.frames, []byte{1}, &c.framesSent, &c.framesDropped)
+	}
+	if sent, dropped := c.framesSent.Load(), c.framesDropped.Load(); sent != 1 || dropped != 2 {
+		t.Fatalf("sent=%d dropped=%d, want 1/2", sent, dropped)
+	}
+}
+
+// TestServeBackpressureAndChurn is the serving acceptance test: one server,
+// a fast subscriber, a deliberately slow subscriber (tiny socket buffers,
+// not reading), and a third client that connects and vanishes mid-run. The
+// epoch loop must finish every epoch without blocking on the slow client,
+// the fast client must see a healthy share of the frame stream, and the
+// slow client's stats must report the drops.
+func TestServeBackpressureAndChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second serving run; covered by the dedicated e2e CI step")
+	}
+	const epochs = 14
+	g := testGateway(t, 2)
+	srv, err := New(Config{
+		Gateway:      g,
+		Epochs:       epochs,
+		FrameQueue:   8,
+		MetricsQueue: 8,
+		WriteTimeout: 60 * time.Second, // never kick the slow client mid-test
+		tuneConn: func(conn net.Conn) {
+			if tcp, ok := conn.(*net.TCPConn); ok {
+				tcp.SetWriteBuffer(1) // kernel-clamped minimum
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background()) }()
+	addr := srv.Addr().String()
+
+	// Fast subscriber: frames + metrics, drained promptly.
+	fast, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	if err := fast.Subscribe(true, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow subscriber: tiny receive buffer and no reads until most of the
+	// run is over, so the server's writes to it genuinely block.
+	rawSlow, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp, ok := rawSlow.(*net.TCPConn); ok {
+		tcp.SetReadBuffer(1)
+	}
+	slow, err := handshake(rawSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	if err := slow.Subscribe(true, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast reader goroutine. When it has seen over half the epochs it
+	// releases the slow client to start draining.
+	var framesSeen, reportsSeen atomic.Int64
+	release := make(chan struct{})
+	fastDone := make(chan error, 1)
+	go func() {
+		released := false
+		for {
+			ev, err := fast.Next()
+			if err != nil {
+				fastDone <- err
+				return
+			}
+			switch ev.Kind {
+			case EventFrame:
+				framesSeen.Add(1)
+			case EventEpoch:
+				if reportsSeen.Add(1) >= epochs/2 && !released {
+					released = true
+					close(release)
+				}
+			case EventBye:
+				fastDone <- nil
+				return
+			}
+		}
+	}()
+
+	// Mid-run churn: a client that connects, subscribes, reads a little,
+	// and disconnects without a goodbye.
+	churn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := churn.Subscribe(true, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := churn.Next(); err != nil {
+		t.Fatalf("churn client first event: %v", err)
+	}
+	churn.Close()
+
+	// Slow client sits on its unread socket until released, then drains.
+	var slowDrops uint64
+	slowDone := make(chan error, 1)
+	go func() {
+		select {
+		case <-release:
+		case <-time.After(2 * time.Minute):
+		}
+		for {
+			ev, err := slow.Next()
+			if err != nil {
+				slowDone <- err
+				return
+			}
+			switch ev.Kind {
+			case EventStats:
+				if d := ev.Stats.FramesDropped + ev.Stats.MetricsDropped; d > slowDrops {
+					slowDrops = d
+				}
+			case EventBye:
+				slowDone <- nil
+				return
+			}
+		}
+	}()
+
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := <-fastDone; err != nil {
+		t.Fatalf("fast client stream: %v", err)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow client stream: %v", err)
+	}
+
+	snap := g.Snapshot()
+	if snap.Epochs != epochs {
+		t.Fatalf("served %d epochs, want %d — the epoch loop stalled", snap.Epochs, epochs)
+	}
+	if got := framesSeen.Load(); got < 40 {
+		t.Errorf("fast client saw %d frame events, want >= 40", got)
+	}
+	// The client subscribes while epoch 0 is already running, so the first
+	// report or two can legitimately predate the subscription.
+	if reportsSeen.Load() < epochs-3 {
+		t.Errorf("fast client saw %d epoch reports of %d", reportsSeen.Load(), epochs)
+	}
+	if slowDrops == 0 {
+		t.Error("slow client reported zero drops; backpressure policy untested")
+	}
+	t.Logf("fast: %d frames, %d reports; slow: %d drops reported",
+		framesSeen.Load(), reportsSeen.Load(), slowDrops)
+}
+
+// TestSnapshotDeterministicAcrossWorkers pins the acceptance criterion
+// that serving does not perturb the gateway's determinism: the epoch-5
+// snapshot payload received over the wire is byte-identical at 1, 4, and
+// 8 workers.
+func TestSnapshotDeterministicAcrossWorkers(t *testing.T) {
+	const epochs = 5
+	var first []byte
+	for _, workers := range []int{1, 4, 8} {
+		g := testGateway(t, workers)
+		srv, err := New(Config{Gateway: g, Epochs: epochs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(context.Background()) }()
+
+		c, err := Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Subscribe(false, true); err != nil {
+			t.Fatal(err)
+		}
+		var last []byte
+		snaps := 0
+		for {
+			ev, err := c.Next()
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if ev.Kind == EventSnapshot {
+				snaps++
+				last, err = jsonBytes(ev.Snapshot)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ev.Kind == EventBye {
+				break
+			}
+		}
+		c.Close()
+		if err := <-serveDone; err != nil {
+			t.Fatalf("workers=%d serve: %v", workers, err)
+		}
+		// The subscription can land after epoch 0 has already published;
+		// what matters is that the FINAL snapshot arrived, and the bye
+		// ordering guarantees `last` is it.
+		if snaps < epochs-2 {
+			t.Fatalf("workers=%d: received %d snapshots of %d", workers, snaps, epochs)
+		}
+		if first == nil {
+			first = last
+		} else if !bytes.Equal(first, last) {
+			t.Errorf("workers=%d: final snapshot differs from workers=1:\n%s\nvs\n%s", workers, last, first)
+		}
+	}
+}
+
+// TestControlPlaneAndCapture drives the control plane end to end: a rate
+// override lands (visible in the final snapshot), an invalid override is
+// rejected asynchronously, a pause/resume cycle survives, and a
+// server-side capture records the frame stream.
+func TestControlPlaneAndCapture(t *testing.T) {
+	const epochs = 6
+	g := testGateway(t, 2)
+	srv, err := New(Config{Gateway: g, Epochs: epochs, EpochGap: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background()) }()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if h := c.Hello(); h.Protocol != Version || h.Channels != 2 {
+		t.Fatalf("hello: %+v", h)
+	}
+	if err := c.Subscribe(false, true); err != nil {
+		t.Fatal(err)
+	}
+	capPath := filepath.Join(t.TempDir(), "frames.cap")
+	if err := c.StartCapture(capPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OverrideRate(-1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OverrideRate(0, 99); err != nil { // invalid: outside adapter bounds
+		t.Fatal(err)
+	}
+	if err := c.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Resume(); err != nil {
+		t.Fatal(err)
+	}
+
+	errorsSeen, reports := 0, 0
+	captureStopped := false
+	for {
+		ev, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case EventError:
+			errorsSeen++
+		case EventEpoch:
+			reports++
+			if reports == epochs-2 && !captureStopped {
+				captureStopped = true
+				if err := c.StopCapture(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if ev.Kind == EventBye {
+			break
+		}
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	// Subscribing races the already-running epoch 0; joining a report or
+	// two late is stream semantics, not loss.
+	if reports < epochs-2 {
+		t.Fatalf("received %d epoch reports of %d", reports, epochs)
+	}
+	if errorsSeen == 0 {
+		t.Error("invalid rate override was never rejected")
+	}
+	snap := g.Snapshot()
+	if snap.RateSwitches == 0 {
+		t.Error("rate override never landed: no rate switches in the final snapshot")
+	}
+	events, err := ReadCapture(capPath)
+	if err != nil {
+		t.Fatalf("read capture: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("capture file holds no frame events")
+	}
+	for _, ev := range events {
+		if ev.Epoch < 0 || ev.Epoch >= epochs || ev.Tag < 0 {
+			t.Fatalf("capture holds implausible event: %+v", ev)
+		}
+	}
+	t.Logf("capture: %d frame events across %d epochs", len(events), epochs)
+}
+
+// jsonBytes re-marshals a snapshot deterministically for comparison.
+func jsonBytes(v any) ([]byte, error) {
+	return json.Marshal(v)
+}

@@ -1,0 +1,400 @@
+// Package server exposes a running gateway over TCP: a versioned,
+// length-prefixed binary protocol that streams per-frame decode events and
+// per-epoch metrics to any number of concurrent subscribers, and carries an
+// operator control plane (pause/resume, rate override, channel-plan swap,
+// frame-capture start/stop) on the same wire.
+//
+// # Protocol (version 1)
+//
+// Both directions open with a 12-byte prelude and then exchange CRC-framed
+// messages, reusing the chunk idiom of internal/trace:
+//
+//	stream  := magic(8) version(u32) message*
+//	magic   := "SAIYWIR\x00"
+//	message := type(u8) length(u32) payload(length bytes) crc32(u32)
+//
+// All integers are little-endian; the CRC-32 (IEEE) covers the type byte,
+// the length field, and the payload. Client-to-server message types:
+//
+//	0x01 subscribe    — u8 bitmask: 1 = frame events, 2 = epoch metrics
+//	0x02 pause        — empty; epoch loop idles until resume
+//	0x03 resume       — empty
+//	0x04 rateOverride — tag(i32, <0 = all) k(u8): force downlink rate
+//	0x05 channelPlan  — count(u16) then count * (tag(i32) channel(u8));
+//	                    count 0 = rebalance every tag round-robin
+//	0x06 captureStart — path(u16 length + bytes): record frame events
+//	                    server-side to a capture file
+//	0x07 captureStop  — empty
+//
+// Server-to-client message types:
+//
+//	0x10 hello        — JSON Hello; first message after the prelude
+//	0x11 frame        — one binary frame event (see encodeFrameEvent)
+//	0x12 epoch        — JSON gateway.EpochReport, once per served epoch
+//	0x13 snapshot     — JSON gateway.Snapshot, once per served epoch
+//	0x14 clientStats  — JSON ClientStats: this client's delivery/drop counters
+//	0x15 error        — JSON {"error": ...}: a rejected control request
+//	0x16 bye          — empty; the server is shutting down cleanly
+//
+// Control messages are fire-and-forget: they are queued and applied by the
+// epoch loop at the next epoch boundary, so they serialize with serving and
+// determinism is preserved — the same control sequence at the same epoch
+// boundaries yields byte-identical snapshots at any worker count. A
+// rejected request comes back asynchronously as an error message.
+//
+// Subscribers are never allowed to stall the epoch loop: every client has
+// bounded send queues and a fanout that would block instead drops the
+// message and counts the drop (reported in the client's clientStats).
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"saiyan/internal/gateway"
+)
+
+// Version is the wire protocol version this package speaks.
+const Version = 1
+
+// wireMagic opens every protocol stream (and every capture file).
+const wireMagic = "SAIYWIR\x00"
+
+// Message types, client to server.
+const (
+	msgSubscribe    = 0x01
+	msgPause        = 0x02
+	msgResume       = 0x03
+	msgRateOverride = 0x04
+	msgChannelPlan  = 0x05
+	msgCaptureStart = 0x06
+	msgCaptureStop  = 0x07
+)
+
+// Message types, server to client.
+const (
+	msgHello       = 0x10
+	msgFrame       = 0x11
+	msgEpoch       = 0x12
+	msgSnapshot    = 0x13
+	msgClientStats = 0x14
+	msgError       = 0x15
+	msgBye         = 0x16
+)
+
+// Subscription bits carried by msgSubscribe.
+const (
+	subFrames  = 1 << 0
+	subMetrics = 1 << 1
+)
+
+// maxMsgBytes bounds a single message payload (16 MiB). Protocol messages
+// are small — the largest is a Snapshot of a big deployment — so anything
+// beyond this is corruption, not load.
+const maxMsgBytes = 16 << 20
+
+// Sentinel errors; test with errors.Is.
+var (
+	// ErrCorrupt marks structural damage on the wire: bad magic, a CRC
+	// mismatch, an impossible length, or a malformed payload.
+	ErrCorrupt = errors.New("server: corrupt message")
+	// ErrTruncated marks a stream that ended mid-message.
+	ErrTruncated = errors.New("server: truncated stream")
+	// ErrVersion marks a peer speaking a protocol version this build does
+	// not understand.
+	ErrVersion = errors.New("server: unsupported protocol version")
+	// ErrUnknownType marks a message type outside the protocol.
+	ErrUnknownType = errors.New("server: unknown message type")
+)
+
+// writePrelude sends the protocol magic and version.
+func writePrelude(w io.Writer) error {
+	buf := make([]byte, 0, len(wireMagic)+4)
+	buf = append(buf, wireMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readPrelude validates the peer's magic and version.
+func readPrelude(r io.Reader) error {
+	buf := make([]byte, len(wireMagic)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: stream ended inside the prelude", ErrTruncated)
+		}
+		return err
+	}
+	if string(buf[:len(wireMagic)]) != wireMagic {
+		return fmt.Errorf("%w: bad protocol magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(buf[len(wireMagic):]); v != Version {
+		return fmt.Errorf("%w: peer speaks version %d, this build speaks %d", ErrVersion, v, Version)
+	}
+	return nil
+}
+
+// appendMsg appends one fully framed message (type, length, payload, CRC)
+// to dst. Fanout encodes once and shares the bytes across every client.
+func appendMsg(dst []byte, typ byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// writeMsg frames and writes one message.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	_, err := w.Write(appendMsg(nil, typ, payload))
+	return err
+}
+
+// readMsg reads and verifies one framed message. A stream that ends cleanly
+// between messages returns io.EOF; one that ends inside a message returns
+// ErrTruncated.
+func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
+	head := make([]byte, 5)
+	if _, err := io.ReadFull(r, head); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: stream ended inside a message header", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	typ = head[0]
+	n := binary.LittleEndian.Uint32(head[1:])
+	if n > maxMsgBytes {
+		return 0, nil, fmt.Errorf("%w: message claims %d bytes (max %d)", ErrCorrupt, n, maxMsgBytes)
+	}
+	body := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: stream ended inside a message body", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	payload = body[:n]
+	want := binary.LittleEndian.Uint32(body[n:])
+	crc := crc32.ChecksumIEEE(head)
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != want {
+		return 0, nil, fmt.Errorf("%w: message CRC mismatch", ErrCorrupt)
+	}
+	return typ, payload, nil
+}
+
+// Frame-event flag bits.
+const (
+	evRetransmit = 1 << 0
+	evDetected   = 1 << 1
+	evCorrect    = 1 << 2
+	evFresh      = 1 << 3
+)
+
+// frameEventBytes is the fixed size of an encoded frame event.
+const frameEventBytes = 4 + 1 + 4 + 1 + 8 + 1 + 4 + 8 + 8
+
+// encodeFrameEvent appends the binary form of ev to dst:
+//
+//	epoch(u32) channel(u8) tag(u32) rateK(u8) seq(u64) flags(u8)
+//	symbolErrs(i32) offsetSamples(i64) rssDBm(f64)
+//
+// Frame events are the protocol's high-rate stream, so they go binary
+// (fixed 39 bytes) rather than JSON like the per-epoch metrics.
+func encodeFrameEvent(dst []byte, ev gateway.FrameEvent) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(ev.Epoch)))
+	dst = append(dst, byte(ev.Channel))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(ev.Tag)))
+	dst = append(dst, byte(ev.RateK))
+	dst = binary.LittleEndian.AppendUint64(dst, ev.Seq)
+	var flags byte
+	if ev.Retransmit {
+		flags |= evRetransmit
+	}
+	if ev.Detected {
+		flags |= evDetected
+	}
+	if ev.Correct {
+		flags |= evCorrect
+	}
+	if ev.Fresh {
+		flags |= evFresh
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(ev.SymbolErrs)))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ev.OffsetSamples))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(ev.RSSDBm))
+	return dst
+}
+
+// decoder is a bounds-checked cursor over one message payload (the
+// internal/trace idiom: the first overrun latches ErrCorrupt).
+type decoder struct {
+	buf []byte
+	at  int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.at+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: field overruns payload (%d+%d > %d)", ErrCorrupt, d.at, n, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.at : d.at+n]
+	d.at += n
+	return b
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// done requires the cursor to have consumed the whole payload.
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.at != len(d.buf) {
+		return fmt.Errorf("%w: %d stray bytes after payload", ErrCorrupt, len(d.buf)-d.at)
+	}
+	return nil
+}
+
+// decodeFrameEvent parses one frame-message payload.
+func decodeFrameEvent(buf []byte) (gateway.FrameEvent, error) {
+	d := &decoder{buf: buf}
+	ev := gateway.FrameEvent{
+		Epoch:   int(int32(d.u32())),
+		Channel: int(d.u8()),
+		Tag:     int(int32(d.u32())),
+		RateK:   int(d.u8()),
+		Seq:     d.u64(),
+	}
+	flags := d.u8()
+	ev.Retransmit = flags&evRetransmit != 0
+	ev.Detected = flags&evDetected != 0
+	ev.Correct = flags&evCorrect != 0
+	ev.Fresh = flags&evFresh != 0
+	ev.SymbolErrs = int(int32(d.u32()))
+	ev.OffsetSamples = int64(d.u64())
+	ev.RSSDBm = math.Float64frombits(d.u64())
+	if err := d.done(); err != nil {
+		return gateway.FrameEvent{}, err
+	}
+	return ev, nil
+}
+
+// TagMove is one entry of a channel-plan swap: assign Tag to Channel.
+type TagMove struct {
+	Tag     int `json:"tag"`
+	Channel int `json:"channel"`
+}
+
+// encodeRateOverride builds a rateOverride payload.
+func encodeRateOverride(tag, k int) []byte {
+	dst := binary.LittleEndian.AppendUint32(nil, uint32(int32(tag)))
+	return append(dst, byte(k))
+}
+
+func decodeRateOverride(buf []byte) (tag, k int, err error) {
+	d := &decoder{buf: buf}
+	tag = int(int32(d.u32()))
+	k = int(d.u8())
+	if err := d.done(); err != nil {
+		return 0, 0, err
+	}
+	return tag, k, nil
+}
+
+// encodeChannelPlan builds a channelPlan payload. An empty plan means
+// "rebalance every tag round-robin".
+func encodeChannelPlan(moves []TagMove) ([]byte, error) {
+	if len(moves) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: channel plan of %d moves exceeds %d", len(moves), math.MaxUint16)
+	}
+	dst := binary.LittleEndian.AppendUint16(nil, uint16(len(moves)))
+	for _, m := range moves {
+		if m.Channel < 0 || m.Channel > 255 {
+			return nil, fmt.Errorf("server: channel %d outside the command argument space [0, 255]", m.Channel)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(m.Tag)))
+		dst = append(dst, byte(m.Channel))
+	}
+	return dst, nil
+}
+
+func decodeChannelPlan(buf []byte) ([]TagMove, error) {
+	d := &decoder{buf: buf}
+	n := int(d.u16())
+	if d.err == nil && n*5 > len(buf)-d.at {
+		return nil, fmt.Errorf("%w: %d moves overrun payload (%d bytes left)", ErrCorrupt, n, len(buf)-d.at)
+	}
+	moves := make([]TagMove, 0, n)
+	for i := 0; i < n; i++ {
+		tag := int(int32(d.u32()))
+		ch := int(d.u8())
+		moves = append(moves, TagMove{Tag: tag, Channel: ch})
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return moves, nil
+}
+
+// encodeString builds a length-prefixed string payload (captureStart path).
+func encodeString(s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return nil, fmt.Errorf("server: string of %d bytes exceeds %d", len(s), math.MaxUint16)
+	}
+	dst := binary.LittleEndian.AppendUint16(nil, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func decodeString(buf []byte) (string, error) {
+	d := &decoder{buf: buf}
+	n := int(d.u16())
+	b := d.take(n)
+	if err := d.done(); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

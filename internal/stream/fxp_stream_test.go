@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"testing"
 
 	"saiyan/internal/core"
@@ -17,7 +18,7 @@ func TestStreamFxpDatapath(t *testing.T) {
 	const chunk = 256
 
 	pcfg, scfg := testConfigs()
-	flStats, err := Demodulate(pcfg, scfg, capture, chunk)
+	flStats, err := Demodulate(context.Background(), pcfg, scfg, capture, chunk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestStreamFxpDatapath(t *testing.T) {
 	var first Stats
 	for i, workers := range []int{1, 4} {
 		pcfg.Workers = workers
-		st, err := Demodulate(pcfg, scfg, capture, chunk)
+		st, err := Demodulate(context.Background(), pcfg, scfg, capture, chunk)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"io"
 
 	"saiyan/internal/pipeline"
@@ -91,17 +92,19 @@ func (s *Source) SamplesIn() int64 { return s.seg.SamplesIn() }
 func (s *Source) NoiseStats() (baseline, sigma float64) { return s.seg.NoiseStats() }
 
 // Stats is the outcome of a continuous-capture demodulation run: the
-// pipeline aggregate plus segmentation-level accounting.
+// pipeline aggregate plus segmentation-level accounting. JSON field names
+// (including the embedded pipeline.Stats fields, which flatten into the
+// same object) are part of the wire protocol's stable metrics schema.
 type Stats struct {
 	pipeline.Stats
 	// FramesScheduled is how many frames the capture's schedule carries.
-	FramesScheduled int
+	FramesScheduled int `json:"frames_scheduled"`
 	// WindowsEmitted is how many candidate windows segmentation produced.
-	WindowsEmitted int
+	WindowsEmitted int `json:"windows_emitted"`
 	// WindowsMatched is how many windows resolved to scheduled frames.
-	WindowsMatched int
+	WindowsMatched int `json:"windows_matched"`
 	// SamplesIn is the sampler-rate capture length segmented.
-	SamplesIn int64
+	SamplesIn int64 `json:"samples_in"`
 }
 
 // Recovery is the end-to-end frame recovery ratio: scheduled frames that
@@ -141,8 +144,10 @@ func SimMatcher(capture *sim.Stream) Matcher {
 // submission goroutine, window decoding on the pipeline's worker pool. The
 // capture is delivered in chunkSamples-sized chunks (0 = one chunk); the
 // decoded stream and every Stats counter are identical for any worker
-// count and any chunk size.
-func Demodulate(pcfg pipeline.Config, scfg Config, capture *sim.Stream, chunkSamples int) (Stats, error) {
+// count and any chunk size. Cancelling ctx stops the run between window
+// submissions (windows already submitted still decode and are counted); a
+// nil ctx behaves like context.Background().
+func Demodulate(ctx context.Context, pcfg pipeline.Config, scfg Config, capture *sim.Stream, chunkSamples int) (Stats, error) {
 	src, err := NewSource(scfg, capture.Chunks(chunkSamples), SimMatcher(capture))
 	if err != nil {
 		return Stats{}, err
@@ -151,7 +156,7 @@ func Demodulate(pcfg pipeline.Config, scfg Config, capture *sim.Stream, chunkSam
 	if err != nil {
 		return Stats{}, err
 	}
-	st, err := p.Run(src)
+	st, err := p.Run(ctx, src)
 	return Stats{
 		Stats:           st,
 		FramesScheduled: len(capture.Events),

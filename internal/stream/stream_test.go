@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"testing"
 
 	"saiyan/internal/core"
@@ -60,7 +61,7 @@ func TestStreamEndToEnd(t *testing.T) {
 	for i, workers := range []int{1, 4, 8} {
 		pcfg, scfg := testConfigs()
 		pcfg.Workers = workers
-		st, err := Demodulate(pcfg, scfg, capture, chunk)
+		st, err := Demodulate(context.Background(), pcfg, scfg, capture, chunk)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -88,7 +89,7 @@ func TestStreamChunkInvariance(t *testing.T) {
 	for i, chunk := range []int{0, 64, 97, 1000} {
 		pcfg, scfg := testConfigs()
 		pcfg.Workers = 2
-		st, err := Demodulate(pcfg, scfg, capture, chunk)
+		st, err := Demodulate(context.Background(), pcfg, scfg, capture, chunk)
 		if err != nil {
 			t.Fatalf("chunk=%d: %v", chunk, err)
 		}
@@ -120,7 +121,7 @@ func TestStreamCollisionsAreLostNotFatal(t *testing.T) {
 	}
 	pcfg, scfg := testConfigs()
 	pcfg.Workers = 4
-	st, err := Demodulate(pcfg, scfg, capture, 256)
+	st, err := Demodulate(context.Background(), pcfg, scfg, capture, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestStreamIdleCaptureEmitsNothing(t *testing.T) {
 	}
 	pcfg, scfg := testConfigs()
 	pcfg.Workers = 1
-	st, err := Demodulate(pcfg, scfg, quiet, 128)
+	st, err := Demodulate(context.Background(), pcfg, scfg, quiet, 128)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package saiyan
 
 import (
+	"context"
 	"io"
 	"math/rand/v2"
 
@@ -15,6 +16,7 @@ import (
 	"saiyan/internal/mac"
 	"saiyan/internal/pipeline"
 	"saiyan/internal/radio"
+	"saiyan/internal/server"
 	"saiyan/internal/sim"
 	"saiyan/internal/stream"
 	"saiyan/internal/trace"
@@ -22,7 +24,10 @@ import (
 
 // Core demodulator types (the paper's contribution).
 type (
-	// Config assembles a Saiyan demodulator; see DefaultConfig.
+	// Config assembles a Saiyan demodulator. Zero value: every field
+	// except Params defaults (full chain at the paper's Section 5
+	// settings); Params is required — NewDemodulator rejects a zero
+	// Params with a descriptive error.
 	Config = core.Config
 	// Demodulator is the tag-side Saiyan receiver.
 	Demodulator = core.Demodulator
@@ -30,11 +35,41 @@ type (
 	Mode = core.Mode
 	// AGCConfig tunes the automatic-gain-control threshold estimator
 	// (the paper's stated future work; see Demodulator.ProcessFrameAuto).
+	// Zero value: fully usable, every field defaults.
 	AGCConfig = core.AGCConfig
 )
 
-// DefaultAGCConfig returns the calibrated online threshold estimator.
+// Configuration pattern. Every XConfig in this package follows one rule:
+// the zero value is meaningful. Constructors normalize their config
+// internally (the withDefaults idiom, private to each package) — a zero
+// field means "use the documented default" — and a config missing a
+// required field is rejected with an error naming what is missing, never
+// silently misconfigured. The Default*Config helpers below bundle the
+// paper's evaluation settings for the configs whose required fields have a
+// canonical choice; they are conveniences over that pattern, not a
+// requirement: NewPipeline(PipelineConfig{Demod: DefaultConfig()}) builds
+// the same pipeline as NewPipeline(DefaultPipelineConfig()).
+// saiyan_api_test.go holds the contract: every exported constructor either
+// accepts its zero-value config or returns a descriptive error.
+
+// DefaultConfig returns the paper's Section 5 evaluation setting: SF 7,
+// BW 500 kHz, CR 1, full demodulation chain, 3.2x sampling.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultAGCConfig returns the calibrated online threshold estimator;
+// identical to a zero AGCConfig.
 func DefaultAGCConfig() AGCConfig { return core.DefaultAGCConfig() }
+
+// DefaultPipelineConfig returns a pipeline over the paper's default
+// demodulator with one worker per CPU.
+func DefaultPipelineConfig() PipelineConfig { return pipeline.DefaultConfig() }
+
+// DefaultGatewayConfig returns a 2-channel, 8-tag closed-loop gateway over
+// the paper's default demodulator and link budget.
+func DefaultGatewayConfig() GatewayConfig { return gateway.DefaultConfig() }
+
+// DefaultExperimentOptions returns full-fidelity experiment settings.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
 
 // Demodulator modes.
 const (
@@ -160,7 +195,8 @@ type (
 	// workers; build with NewPipeline, feed with Submit, finish with Drain.
 	Pipeline = pipeline.Pipeline
 	// PipelineConfig tunes the worker pool, queue depths, seed, and the
-	// per-distance calibration quantum.
+	// per-distance calibration quantum. Zero value: every field except
+	// Demod defaults (one worker per CPU); Demod is required.
 	PipelineConfig = pipeline.Config
 	// PipelineJob is one downlink frame awaiting demodulation.
 	PipelineJob = pipeline.Job
@@ -176,10 +212,6 @@ type (
 
 // ErrPipelineDrained is returned by Pipeline.Submit after Drain.
 var ErrPipelineDrained = pipeline.ErrDrained
-
-// DefaultPipelineConfig returns a pipeline over the paper's default
-// demodulator with one worker per CPU.
-func DefaultPipelineConfig() PipelineConfig { return pipeline.DefaultConfig() }
 
 // NewPipeline starts a concurrent demodulation pipeline. For a fixed
 // cfg.Seed the decoded symbol stream is identical regardless of worker
@@ -247,7 +279,10 @@ func NewTraceSource(r *TraceReader) PipelineSource { return pipeline.NewTraceSou
 // seed, and the decoded decisions — to path (gzip when it ends in ".gz").
 // withSamples additionally captures the rendered frequency trajectory and
 // envelope of every frame (large). It returns the run's aggregate Stats.
-func RecordTrace(path string, cfg PipelineConfig, src PipelineSource, withSamples bool) (PipelineStats, error) {
+// Cancelling ctx stops the recording between source pulls and leaves the
+// trace deliberately truncated; a nil ctx behaves like
+// context.Background().
+func RecordTrace(ctx context.Context, path string, cfg PipelineConfig, src PipelineSource, withSamples bool) (PipelineStats, error) {
 	p, err := pipeline.New(cfg)
 	if err != nil {
 		return PipelineStats{}, err
@@ -262,7 +297,7 @@ func RecordTrace(path string, cfg PipelineConfig, src PipelineSource, withSample
 		w.Abort()
 		return PipelineStats{}, err
 	}
-	st, err := p.Run(src)
+	st, err := p.Run(ctx, src)
 	if err != nil {
 		// Leave the trace deliberately truncated (no trailer): the frames
 		// captured before the failure stay readable, but the file reports
@@ -314,6 +349,7 @@ type (
 	// StreamChunk is one delivery unit of a capture.
 	StreamChunk = sim.Chunk
 	// StreamConfig assembles the segmenter that hunts frames in a capture.
+	// Zero value: every field except Demod defaults; Demod is required.
 	StreamConfig = stream.Config
 	// StreamSegmenter carries preamble-hunt state across chunk deliveries.
 	StreamSegmenter = stream.Segmenter
@@ -350,8 +386,10 @@ func NewStreamSource(cfg StreamConfig, capture *TagStream, chunkSamples int) (*S
 // window decoding on the worker pool, schedule-matched scoring — and
 // returns the stream stats (including the frame Recovery ratio). The
 // outcome is identical for any worker count and any chunk size.
-func DemodulateStream(pcfg PipelineConfig, scfg StreamConfig, capture *TagStream, chunkSamples int) (StreamStats, error) {
-	return stream.Demodulate(pcfg, scfg, capture, chunkSamples)
+// Cancelling ctx stops the run between window submissions; a nil ctx
+// behaves like context.Background().
+func DemodulateStream(ctx context.Context, pcfg PipelineConfig, scfg StreamConfig, capture *TagStream, chunkSamples int) (StreamStats, error) {
+	return stream.Demodulate(ctx, pcfg, scfg, capture, chunkSamples)
 }
 
 // Closed-loop gateway service types. A Gateway is the end state the paper
@@ -366,7 +404,9 @@ type (
 	// Run, observe with Snapshot.
 	Gateway = gateway.Gateway
 	// GatewayConfig assembles a gateway: channels, tag population, churn,
-	// degradations, adaptation thresholds.
+	// degradations, adaptation thresholds. Zero value: every knob
+	// defaults (2 channels, 8 tags, 20..80 m, BER <= 1e-3 adaptation);
+	// Demod and Budget are required.
 	GatewayConfig = gateway.Config
 	// GatewayStats is the gateway's deterministic metrics snapshot —
 	// byte-identical at any worker count for a fixed seed.
@@ -377,18 +417,90 @@ type (
 	GatewayChannel = gateway.ChannelSnapshot
 	// GatewayEpochReport summarizes one served epoch.
 	GatewayEpochReport = gateway.EpochReport
+	// GatewayFrameEvent is one per-frame decode outcome, emitted in
+	// deterministic schedule order through Gateway.SetFrameHook.
+	GatewayFrameEvent = gateway.FrameEvent
 	// GatewayDegradation schedules a mid-run channel-quality change.
 	GatewayDegradation = gateway.Degradation
 )
-
-// DefaultGatewayConfig returns a 2-channel, 8-tag closed-loop gateway over
-// the paper's default demodulator and link budget.
-func DefaultGatewayConfig() GatewayConfig { return gateway.DefaultConfig() }
 
 // NewGateway starts a closed-loop gateway service over a simulated tag
 // deployment. For a fixed cfg.Seed the full metrics snapshot is identical
 // regardless of cfg.Workers.
 func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// Protocol serving types. A Server exposes a running Gateway over TCP: a
+// versioned length-prefixed binary protocol (CRC-framed like traces)
+// streaming per-frame decode events and per-epoch metrics to any number of
+// concurrent subscribers, with an operator control plane — pause/resume,
+// rate override, channel-plan swap, frame-capture start/stop — on the same
+// wire. Slow consumers never stall the epoch loop: each client has bounded
+// send queues and overflow is dropped and counted (reported back in that
+// client's ServerClientStats). See internal/server for the wire format.
+type (
+	// Server runs a gateway epoch loop and serves its streams over TCP;
+	// build with NewServer, run with Serve, stop via context cancel.
+	Server = server.Server
+	// ServerConfig assembles a protocol server. Zero value: every field
+	// except Gateway defaults (loopback listen, bounded queues, 5 s write
+	// deadline); Gateway is required.
+	ServerConfig = server.Config
+	// ServerClient is a protocol client: a subscriber and control handle
+	// for one server connection; build with DialServer.
+	ServerClient = server.Client
+	// ServerEvent is one received server message; Kind selects the field.
+	ServerEvent = server.Event
+	// ServerEventKind discriminates received server messages.
+	ServerEventKind = server.EventKind
+	// ServerHello is the server's first message: protocol version and
+	// service state at connect time.
+	ServerHello = server.Hello
+	// ServerClientStats is the per-subscriber delivery/drop accounting the
+	// server reports after every epoch.
+	ServerClientStats = server.ClientStats
+	// ServerTagMove is one entry of a channel-plan swap.
+	ServerTagMove = server.TagMove
+)
+
+// Server event kinds (ServerEvent.Kind).
+const (
+	ServerEventFrame    = server.EventFrame
+	ServerEventEpoch    = server.EventEpoch
+	ServerEventSnapshot = server.EventSnapshot
+	ServerEventStats    = server.EventStats
+	ServerEventError    = server.EventError
+	ServerEventBye      = server.EventBye
+)
+
+// ServerProtocolVersion is the wire protocol version this build speaks.
+const ServerProtocolVersion = server.Version
+
+// Wire protocol error sentinels; test with errors.Is.
+var (
+	// ErrServerCorrupt marks structural damage on the wire or in a capture
+	// file: bad magic, CRC mismatch, malformed payload.
+	ErrServerCorrupt = server.ErrCorrupt
+	// ErrServerTruncated marks a stream or capture cut mid-message.
+	ErrServerTruncated = server.ErrTruncated
+	// ErrServerVersion marks a peer speaking an unknown protocol version.
+	ErrServerVersion = server.ErrVersion
+	// ErrServerUnknownType marks a message type outside the protocol.
+	ErrServerUnknownType = server.ErrUnknownType
+)
+
+// NewServer validates cfg and binds its listen socket (so Server.Addr is
+// routable immediately); Serve then runs the epoch loop until its context
+// ends or the configured epoch count is served.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// DialServer connects a client to a serving gateway: it exchanges protocol
+// preludes, reads the hello, and returns the subscriber/control handle.
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
+
+// ReadFrameCapture loads the frame events recorded server-side by the
+// capture control (ServerClient.StartCapture). Events decoded before a
+// truncation are returned alongside ErrServerTruncated.
+func ReadFrameCapture(path string) ([]GatewayFrameEvent, error) { return server.ReadCapture(path) }
 
 // Experiment harness types.
 type (
@@ -399,10 +511,6 @@ type (
 	// ResultTable is the printable output of an experiment.
 	ResultTable = experiments.Table
 )
-
-// DefaultConfig returns the paper's Section 5 evaluation setting: SF 7,
-// BW 500 kHz, CR 1, full demodulation chain, 3.2x sampling.
-func DefaultConfig() Config { return core.DefaultConfig() }
 
 // NewDemodulator builds a Saiyan demodulator. Call Calibrate with the
 // expected feedback RSS before demodulating, exactly as the prototype
@@ -470,6 +578,3 @@ func RunExperiment(id string, opts ExperimentOptions, w io.Writer) error {
 	}
 	return tab.Render(w)
 }
-
-// DefaultExperimentOptions returns full-fidelity experiment settings.
-func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }

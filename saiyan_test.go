@@ -2,6 +2,7 @@ package saiyan_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -179,7 +180,7 @@ func TestFacadeRecordReplay(t *testing.T) {
 	cfg.Seed = 7
 	cfg.Workers = 2
 	cfg.DiscardResults = true
-	live, err := saiyan.RecordTrace(path, cfg, src, false)
+	live, err := saiyan.RecordTrace(context.Background(), path, cfg, src, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestFacadeRecordTraceAbortsOnFailure(t *testing.T) {
 	cfg := saiyan.DefaultPipelineConfig()
 	cfg.Seed = 7
 	cfg.DiscardResults = true
-	if _, err := saiyan.RecordTrace(path, cfg, &failingSource{inner: inner, left: 3}, false); err == nil {
+	if _, err := saiyan.RecordTrace(context.Background(), path, cfg, &failingSource{inner: inner, left: 3}, false); err == nil {
 		t.Fatal("RecordTrace with a dying source succeeded")
 	}
 
@@ -361,7 +362,7 @@ func TestFacadeStream(t *testing.T) {
 	pcfg.Workers = 2
 	pcfg.DiscardResults = true
 	scfg := saiyan.StreamConfig{Demod: saiyan.DefaultConfig(), Seed: 7}
-	st, err := saiyan.DemodulateStream(pcfg, scfg, capture, 200)
+	st, err := saiyan.DemodulateStream(context.Background(), pcfg, scfg, capture, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestFacadeStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	manual, err := p.Run(src)
+	manual, err := p.Run(context.Background(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +405,7 @@ func TestFacadeGateway(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reports, err := g.Run(3)
+	reports, err := g.Run(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
