@@ -477,6 +477,7 @@ func runServe(args []string, g *globals) error {
 	epochs := fs.Int("epochs", 6, "epochs to serve (0 with -listen = until interrupted)")
 	listen := fs.String("listen", "", "serve the wire protocol on this TCP address (e.g. 127.0.0.1:7316)")
 	gap := fs.Duration("gap", 0, "pause between epochs when listening (paces the stream for subscribers)")
+	captureDir := fs.String("capture-dir", "", "allow client capture requests, confined to this directory ('' = captures disabled)")
 	fs.IntVar(&g.tags, "tags", g.tags, "initial tag population")
 	fs.IntVar(&g.frames, "frames", g.frames, "frames per tag per epoch")
 	fs.IntVar(&g.workers, "workers", g.workers, "demodulation workers per rate group (0 = one per CPU)")
@@ -528,7 +529,7 @@ func runServe(args []string, g *globals) error {
 		return err
 	}
 	if *listen != "" {
-		return serveDaemon(gw, *listen, *epochs, *gap)
+		return serveDaemon(gw, *listen, *epochs, *gap, *captureDir)
 	}
 	fmt.Printf("serve: %d channels, %d tags (join/%d leave/%d), %d epochs\n",
 		*channels, g.tags, *join, *leave, *epochs)

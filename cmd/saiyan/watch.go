@@ -25,12 +25,13 @@ import (
 // spent (epochs > 0) or the process is interrupted. The bound address is
 // printed on the first stdout line so callers that asked for port 0 can
 // find the server.
-func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration) error {
+func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration, captureDir string) error {
 	srv, err := saiyan.NewServer(saiyan.ServerConfig{
-		Gateway:  gw,
-		Addr:     listen,
-		Epochs:   epochs,
-		EpochGap: gap,
+		Gateway:    gw,
+		Addr:       listen,
+		Epochs:     epochs,
+		EpochGap:   gap,
+		CaptureDir: captureDir,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "saiyan: serve: "+format+"\n", args...)
 		},

@@ -172,8 +172,11 @@
 // survives serving: the same control sequence at the same boundaries
 // yields byte-identical snapshots at any worker count. Server-side
 // captures (ServerClient.StartCapture / StopCapture) record the frame
-// stream in the wire format; ReadFrameCapture loads them back, returning
-// partial results alongside ErrServerTruncated for files cut short.
+// stream in the wire format; they are an operator opt-in — client paths
+// are confined to ServerConfig.CaptureDir, and a server without one
+// rejects every capture request. ReadFrameCapture loads capture files
+// back, returning partial results alongside ErrServerTruncated for files
+// cut short.
 // `saiyan serve -listen` and `saiyan watch` are the CLI faces of this
 // layer; examples/wire is the single-process walkthrough.
 //

@@ -51,7 +51,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("starting gateway: %v", err)
 	}
-	srv, err := saiyan.NewServer(saiyan.ServerConfig{Gateway: gw, Epochs: 5})
+	// Capture is an operator opt-in: clients name files relative to this
+	// directory and can never reach outside it.
+	dir, err := os.MkdirTemp("", "saiyan-wire")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := saiyan.NewServer(saiyan.ServerConfig{Gateway: gw, Epochs: 5, CaptureDir: dir})
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
 	}
@@ -68,13 +75,8 @@ func main() {
 		log.Fatalf("subscribing: %v", err)
 	}
 
-	dir, err := os.MkdirTemp("", "saiyan-wire")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer os.RemoveAll(dir)
 	capPath := filepath.Join(dir, "frames.cap")
-	if err := c.StartCapture(capPath); err != nil {
+	if err := c.StartCapture("frames.cap"); err != nil {
 		log.Fatalf("starting capture: %v", err)
 	}
 	// Fire-and-forget control: applied at the next epoch boundary.

@@ -74,9 +74,13 @@ type Client struct {
 	wmu sync.Mutex // serializes writes (control messages)
 }
 
+// clientIOTimeout bounds the client's blocking I/O: dialing, the
+// handshake, and each control write.
+const clientIOTimeout = 10 * time.Second
+
 // Dial connects to a server, exchanges preludes, and reads the hello.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	conn, err := net.DialTimeout("tcp", addr, clientIOTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +91,7 @@ func Dial(addr string) (*Client, error) {
 // established connection.
 func handshake(conn net.Conn) (*Client, error) {
 	c := &Client{conn: conn, r: bufio.NewReader(conn)}
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.SetDeadline(time.Now().Add(clientIOTimeout))
 	if err := writePrelude(conn); err != nil {
 		conn.Close()
 		return nil, err
@@ -123,7 +127,13 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) write(typ byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return writeMsg(c.conn, typ, payload)
+	// A write deadline keeps the fire-and-forget contract honest: a
+	// stalled server fails the control call instead of blocking it
+	// forever. Write deadlines do not disturb a concurrent Next.
+	c.conn.SetWriteDeadline(time.Now().Add(clientIOTimeout))
+	err := writeMsg(c.conn, typ, payload)
+	c.conn.SetWriteDeadline(time.Time{})
+	return err
 }
 
 // Subscribe selects which streams the server sends this client: per-frame
@@ -169,8 +179,10 @@ func (c *Client) SwapChannelPlan(moves []TagMove) error {
 // Rebalance is SwapChannelPlan with an empty plan.
 func (c *Client) Rebalance() error { return c.SwapChannelPlan(nil) }
 
-// StartCapture asks the server to record its frame-event stream to path
-// (a path on the server's filesystem); read it back with ReadCapture.
+// StartCapture asks the server to record its frame-event stream to path,
+// resolved inside the server's configured capture directory
+// (Config.CaptureDir); a server without one, or a path that would escape
+// it, rejects the request. Read the file back with ReadCapture.
 func (c *Client) StartCapture(path string) error {
 	payload, err := encodeString(path)
 	if err != nil {
@@ -184,7 +196,9 @@ func (c *Client) StopCapture() error { return c.write(msgCaptureStop, nil) }
 
 // Next blocks for the next server message and decodes it. The stream ends
 // with an EventBye on clean shutdown, or an error (io.EOF when the server
-// vanished without a bye, ErrTruncated/ErrCorrupt on a damaged stream).
+// vanished without a bye, ErrTruncated/ErrCorrupt on a damaged stream). A
+// server stopping on a gateway failure sends the failure as a final
+// EventError instead of a bye, then closes.
 func (c *Client) Next() (Event, error) {
 	for {
 		typ, payload, err := readMsg(c.r)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,13 @@ type Config struct {
 	// WriteTimeout is the per-message write deadline; a client that
 	// cannot accept a write within it is disconnected. Default 5s.
 	WriteTimeout time.Duration
+
+	// CaptureDir, when set, enables the captureStart control: the
+	// client-requested path is resolved inside this directory and must
+	// not escape it. Default "" — capture is disabled and every
+	// captureStart request is rejected, so an unauthenticated client can
+	// never name a filesystem path of its own choosing.
+	CaptureDir string
 
 	// Logf, when set, receives server lifecycle lines (client connects,
 	// drops, control rejections). Default: silent.
@@ -149,6 +157,11 @@ type Server struct {
 	hello   Hello
 	closing bool
 
+	// farewell, when non-nil, replaces the bye each writer sends after its
+	// shutdown drain: a server stopping on a gateway failure says so with
+	// an error message instead of claiming a clean shutdown.
+	farewell []byte
+
 	control chan controlOp
 	paused  bool
 
@@ -196,8 +209,10 @@ func (s *Server) Close() error { return s.ln.Close() }
 // served, fanning out frame events and metrics to subscribers and applying
 // queued control requests at epoch boundaries. It returns nil on a clean
 // stop (cancellation or epoch-count completion) and the epoch error if the
-// gateway fails. Serve blocks; run it on its own goroutine if the caller
-// needs to do anything else.
+// gateway fails; on a clean stop subscribers see a final bye, on a failure
+// they see the error message instead, so the two are distinguishable on
+// the wire. Serve blocks; run it on its own goroutine if the caller needs
+// to do anything else.
 func (s *Server) Serve(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -237,7 +252,7 @@ func (s *Server) Serve(ctx context.Context) error {
 		}
 	}
 
-	s.shutdown()
+	s.shutdown(serveErr)
 	if s.capture != nil {
 		if err := s.capture.Close(); err != nil && serveErr == nil {
 			serveErr = err
@@ -446,17 +461,28 @@ func (s *Server) writeLoop(c *client) {
 				select {
 				case msg := <-c.metrics:
 					if !write(msg) {
+						// A drain failure must still drop the client:
+						// readLoop is blocked in readMsg until the conn
+						// closes, and shutdown's wg.Wait needs it back.
+						s.drop(c)
 						return
 					}
 				case msg := <-c.frames:
 					if !write(msg) {
+						s.drop(c)
 						return
 					}
 				default:
 					drained = true
 				}
 			}
-			write(appendMsg(nil, msgBye, nil))
+			s.mu.Lock()
+			farewell := s.farewell
+			s.mu.Unlock()
+			if farewell == nil {
+				farewell = appendMsg(nil, msgBye, nil)
+			}
+			write(farewell)
 			c.conn.Close()
 			return
 		}
@@ -584,10 +610,14 @@ func (s *Server) apply(op controlOp) {
 			err = fmt.Errorf("server: capture already running (%s)", s.capture.path)
 			break
 		}
+		var path string
+		if path, err = s.capturePath(op.path); err != nil {
+			break
+		}
 		var cw *captureWriter
-		if cw, err = newCaptureWriter(op.path); err == nil {
+		if cw, err = newCaptureWriter(path); err == nil {
 			s.capture = cw
-			s.cfg.Logf("server: capturing frame events to %s", op.path)
+			s.cfg.Logf("server: capturing frame events to %s", path)
 		}
 	case msgCaptureStop:
 		if s.capture == nil {
@@ -602,12 +632,32 @@ func (s *Server) apply(op controlOp) {
 	}
 }
 
-// shutdown stops accepting, tells every client's writer to drain and send
-// bye, and waits for all goroutines.
-func (s *Server) shutdown() {
+// capturePath resolves a client-requested capture path against the
+// configured capture directory. Capture is an operator opt-in: with no
+// CaptureDir the control is rejected outright, and a granted path can
+// never escape the directory (no absolute paths, no "..").
+func (s *Server) capturePath(req string) (string, error) {
+	if s.cfg.CaptureDir == "" {
+		return "", fmt.Errorf("server: capture disabled (no CaptureDir configured)")
+	}
+	if !filepath.IsLocal(req) {
+		return "", fmt.Errorf("server: capture path %q escapes the capture directory", req)
+	}
+	return filepath.Join(s.cfg.CaptureDir, req), nil
+}
+
+// shutdown stops accepting, tells every client's writer to drain and say
+// farewell — bye on a clean stop, an error message when Serve is returning
+// serveErr — and waits for all goroutines.
+func (s *Server) shutdown(serveErr error) {
 	s.ln.Close()
 	s.mu.Lock()
 	s.closing = true
+	if serveErr != nil {
+		if payload, err := json.Marshal(map[string]string{"error": serveErr.Error()}); err == nil {
+			s.farewell = appendMsg(nil, msgError, payload)
+		}
+	}
 	clients := make([]*client, 0, len(s.clients))
 	for c := range s.clients {
 		clients = append(clients, c)

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"net"
+	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -266,7 +268,8 @@ func TestSnapshotDeterministicAcrossWorkers(t *testing.T) {
 func TestControlPlaneAndCapture(t *testing.T) {
 	const epochs = 6
 	g := testGateway(t, 2)
-	srv, err := New(Config{Gateway: g, Epochs: epochs, EpochGap: 20 * time.Millisecond})
+	capDir := t.TempDir()
+	srv, err := New(Config{Gateway: g, Epochs: epochs, EpochGap: 20 * time.Millisecond, CaptureDir: capDir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,8 +287,8 @@ func TestControlPlaneAndCapture(t *testing.T) {
 	if err := c.Subscribe(false, true); err != nil {
 		t.Fatal(err)
 	}
-	capPath := filepath.Join(t.TempDir(), "frames.cap")
-	if err := c.StartCapture(capPath); err != nil {
+	capPath := filepath.Join(capDir, "frames.cap")
+	if err := c.StartCapture("frames.cap"); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.OverrideRate(-1, 3); err != nil {
@@ -355,6 +358,154 @@ func TestControlPlaneAndCapture(t *testing.T) {
 		}
 	}
 	t.Logf("capture: %d frame events across %d epochs", len(events), epochs)
+}
+
+// TestCaptureAccessPolicy pins the capture control's filesystem policy: a
+// server without a configured CaptureDir rejects every captureStart, and a
+// configured server rejects paths that would escape the directory.
+func TestCaptureAccessPolicy(t *testing.T) {
+	collectErrors := func(t *testing.T, cfg Config, paths ...string) []string {
+		t.Helper()
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(context.Background()) }()
+		c, err := Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Subscribe(false, true); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			if err := c.StartCapture(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var rejections []string
+		for {
+			ev, err := c.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Kind == EventError {
+				rejections = append(rejections, ev.Err)
+			}
+			if ev.Kind == EventBye {
+				break
+			}
+		}
+		if err := <-serveDone; err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+		return rejections
+	}
+
+	t.Run("disabled without CaptureDir", func(t *testing.T) {
+		g := testGateway(t, 1)
+		errs := collectErrors(t, Config{Gateway: g, Epochs: 3, EpochGap: 10 * time.Millisecond}, "frames.cap")
+		if len(errs) != 1 || !strings.Contains(errs[0], "capture disabled") {
+			t.Fatalf("captureStart on a capture-less server: rejections %q, want one mentioning 'capture disabled'", errs)
+		}
+	})
+
+	t.Run("escaping paths rejected", func(t *testing.T) {
+		g := testGateway(t, 1)
+		dir := filepath.Join(t.TempDir(), "captures")
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		escapee := filepath.Join("..", "escape.cap")
+		errs := collectErrors(t, Config{Gateway: g, Epochs: 3, EpochGap: 10 * time.Millisecond, CaptureDir: dir},
+			escapee, "/abs/evil.cap", "")
+		if len(errs) != 3 {
+			t.Fatalf("3 escaping captureStarts produced %d rejections: %q", len(errs), errs)
+		}
+		for _, e := range errs {
+			if !strings.Contains(e, "escapes the capture directory") {
+				t.Errorf("rejection %q does not name the policy", e)
+			}
+		}
+		if _, err := os.Stat(filepath.Join(dir, escapee)); !os.IsNotExist(err) {
+			t.Fatalf("escaping capture path was created outside the capture dir (stat err: %v)", err)
+		}
+	})
+}
+
+// TestWriteLoopDrainFailureUnblocksShutdown is the regression test for the
+// shutdown deadlock: when a write fails during the stop-drain (a subscriber
+// that stopped reading), the writer must still drop the client so readLoop
+// unblocks and shutdown's wg.Wait can return. net.Pipe gives a peer that
+// never reads, so the drain write reliably hits its deadline.
+func TestWriteLoopDrainFailureUnblocksShutdown(t *testing.T) {
+	srvConn, peer := net.Pipe()
+	defer peer.Close()
+	s := &Server{
+		cfg:     Config{WriteTimeout: 50 * time.Millisecond, Logf: func(string, ...any) {}},
+		clients: make(map[*client]struct{}),
+	}
+	c := &client{
+		conn:    srvConn,
+		name:    "stalled-pipe",
+		frames:  make(chan []byte, 4),
+		metrics: make(chan []byte, 4),
+		stop:    make(chan struct{}),
+	}
+	s.clients[c] = struct{}{}
+	c.frames <- appendMsg(nil, msgFrame, make([]byte, frameEventBytes))
+	c.stopOnce.Do(func() { close(c.stop) })
+
+	s.wg.Add(2)
+	go s.readLoop(c)
+	go s.writeLoop(c)
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain-path write failure left readLoop parked on an open conn; shutdown would hang")
+	}
+}
+
+// TestServeErrorFarewell pins the failure farewell: writers told to stop by
+// a failing Serve send the error as the stream's final message instead of
+// claiming a clean bye.
+func TestServeErrorFarewell(t *testing.T) {
+	srvConn, peer := net.Pipe()
+	s := &Server{
+		cfg:     Config{WriteTimeout: time.Second, Logf: func(string, ...any) {}},
+		clients: make(map[*client]struct{}),
+	}
+	c := &client{
+		conn:    srvConn,
+		name:    "farewell-pipe",
+		frames:  make(chan []byte, 1),
+		metrics: make(chan []byte, 1),
+		stop:    make(chan struct{}),
+	}
+	s.clients[c] = struct{}{}
+	s.mu.Lock()
+	s.farewell = appendMsg(nil, msgError, []byte(`{"error":"gateway exploded"}`))
+	s.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stop) })
+	s.wg.Add(1)
+	go s.writeLoop(c)
+
+	typ, payload, err := readMsg(peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgError || !strings.Contains(string(payload), "gateway exploded") {
+		t.Fatalf("farewell message type=0x%02x payload=%q, want the serve error", typ, payload)
+	}
+	if _, _, err := readMsg(peer); err == nil {
+		t.Fatal("a bye followed the error farewell; the stream should just end")
+	}
+	peer.Close()
+	s.wg.Wait()
 }
 
 // jsonBytes re-marshals a snapshot deterministically for comparison.

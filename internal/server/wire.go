@@ -23,7 +23,10 @@
 //	0x05 channelPlan  — count(u16) then count * (tag(i32) channel(u8));
 //	                    count 0 = rebalance every tag round-robin
 //	0x06 captureStart — path(u16 length + bytes): record frame events
-//	                    server-side to a capture file
+//	                    server-side to a capture file. The path is resolved
+//	                    inside the server's configured capture directory
+//	                    (Config.CaptureDir) and may not escape it; servers
+//	                    without one reject the request
 //	0x07 captureStop  — empty
 //
 // Server-to-client message types:
@@ -33,7 +36,9 @@
 //	0x12 epoch        — JSON gateway.EpochReport, once per served epoch
 //	0x13 snapshot     — JSON gateway.Snapshot, once per served epoch
 //	0x14 clientStats  — JSON ClientStats: this client's delivery/drop counters
-//	0x15 error        — JSON {"error": ...}: a rejected control request
+//	0x15 error        — JSON {"error": ...}: a rejected control request, or
+//	                    — as the stream's final message in place of a bye —
+//	                    the failure a stopping server is returning
 //	0x16 bye          — empty; the server is shutting down cleanly
 //
 // Control messages are fire-and-forget: they are queued and applied by the

@@ -443,7 +443,8 @@ type (
 	Server = server.Server
 	// ServerConfig assembles a protocol server. Zero value: every field
 	// except Gateway defaults (loopback listen, bounded queues, 5 s write
-	// deadline); Gateway is required.
+	// deadline, client capture requests disabled — set CaptureDir to
+	// grant them a confined directory); Gateway is required.
 	ServerConfig = server.Config
 	// ServerClient is a protocol client: a subscriber and control handle
 	// for one server connection; build with DialServer.
@@ -498,8 +499,9 @@ func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
 
 // ReadFrameCapture loads the frame events recorded server-side by the
-// capture control (ServerClient.StartCapture). Events decoded before a
-// truncation are returned alongside ErrServerTruncated.
+// capture control (ServerClient.StartCapture, confined to the server's
+// ServerConfig.CaptureDir). Events decoded before a truncation are
+// returned alongside ErrServerTruncated.
 func ReadFrameCapture(path string) ([]GatewayFrameEvent, error) { return server.ReadCapture(path) }
 
 // Experiment harness types.
