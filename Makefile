@@ -15,7 +15,7 @@ test-short:
 	$(GO) test -short -race ./...
 
 bench:
-	$(GO) test -bench=. -benchtime=1x ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
 
 # Bench smoke with results archived as JSON (what the CI full job uploads).
 # One pattern rule cuts every benchmark family's artifact from the same
@@ -31,8 +31,10 @@ BENCH_FILTER_gateway  = BenchmarkGateway
 BENCH_FILTER_fxp      = BenchmarkFxp
 
 # Redirect instead of piping through tee so a bench failure stops make.
+# -benchmem keeps B/op and allocs/op in the archived JSON, which is what
+# pins the "metrics on = zero extra allocations" budget over time.
 bench.txt:
-	$(GO) test -bench=. -benchtime=1x ./... > $@
+	$(GO) test -bench=. -benchtime=1x -benchmem ./... > $@
 	@cat $@
 
 BENCH_%.json: bench.txt

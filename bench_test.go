@@ -104,7 +104,7 @@ func BenchmarkFig27(b *testing.B) { benchExperiment(b, "fig27") }
 // the workers=1 and workers=8 variants on a multi-core machine to see the
 // pool scale.
 
-func benchPipeline(b *testing.B, workers, tags int) {
+func benchPipeline(b *testing.B, workers, tags int, withMetrics bool) {
 	const framesPerTag = 4
 	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 120, 7)
 	if err != nil {
@@ -130,6 +130,11 @@ func benchPipeline(b *testing.B, workers, tags int) {
 	cfg.Workers = workers
 	cfg.Seed = 7
 	cfg.DiscardResults = true
+	if withMetrics {
+		// One registry across every iteration: registration is
+		// idempotent, and the hot path only touches atomics.
+		cfg.Metrics = saiyan.NewObsRegistry()
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var last saiyan.PipelineStats
@@ -158,12 +163,19 @@ func benchPipeline(b *testing.B, workers, tags int) {
 	b.ReportMetric(last.MSamplesPerSec(), "Msamples/s")
 }
 
-func BenchmarkPipeline1Worker4Tags(b *testing.B)   { benchPipeline(b, 1, 4) }
-func BenchmarkPipeline4Workers4Tags(b *testing.B)  { benchPipeline(b, 4, 4) }
-func BenchmarkPipeline8Workers4Tags(b *testing.B)  { benchPipeline(b, 8, 4) }
-func BenchmarkPipeline1Worker32Tags(b *testing.B)  { benchPipeline(b, 1, 32) }
-func BenchmarkPipeline4Workers32Tags(b *testing.B) { benchPipeline(b, 4, 32) }
-func BenchmarkPipeline8Workers32Tags(b *testing.B) { benchPipeline(b, 8, 32) }
+func BenchmarkPipeline1Worker4Tags(b *testing.B)   { benchPipeline(b, 1, 4, false) }
+func BenchmarkPipeline4Workers4Tags(b *testing.B)  { benchPipeline(b, 4, 4, false) }
+func BenchmarkPipeline8Workers4Tags(b *testing.B)  { benchPipeline(b, 8, 4, false) }
+func BenchmarkPipeline1Worker32Tags(b *testing.B)  { benchPipeline(b, 1, 32, false) }
+func BenchmarkPipeline4Workers32Tags(b *testing.B) { benchPipeline(b, 4, 32, false) }
+func BenchmarkPipeline8Workers32Tags(b *testing.B) { benchPipeline(b, 8, 32, false) }
+
+// The metrics-on twins run the identical workload with an obs registry
+// attached, so the -benchmem columns pin the instrumentation budget:
+// B/op and allocs/op must match the plain variants (the decode hot path
+// records through pre-registered atomic handles only).
+func BenchmarkPipeline4Workers4TagsMetrics(b *testing.B)  { benchPipeline(b, 4, 4, true) }
+func BenchmarkPipeline8Workers32TagsMetrics(b *testing.B) { benchPipeline(b, 8, 32, true) }
 
 // Stream benchmarks: the continuous-capture receive path — preamble
 // hunting over raw envelope samples plus window decoding on the worker

@@ -8,8 +8,12 @@
 //	go test -bench=. -benchtime=1x ./... | go run ./cmd/benchjson > BENCH.json
 //
 // The output carries the environment lines go test prints (goos, goarch,
-// cpu, pkg) and one entry per benchmark line with every metric pair
-// (ns/op, B/op, allocs/op, custom units) keyed by unit.
+// cpu, pkg) and one entry per benchmark line. The standard go-test units
+// (ns/op, B/op, allocs/op, MB/s) land in "metrics"; anything a benchmark
+// reported itself via b.ReportMetric — MCUcycles/frame, windows/s, … —
+// lands in "custom", so downstream tooling can trend the paper-specific
+// figures without knowing every unit in advance. The -N GOMAXPROCS suffix
+// is split off the name into "procs".
 package main
 
 import (
@@ -25,8 +29,19 @@ import (
 type Benchmark struct {
 	Name       string             `json:"name"`
 	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	Custom     map[string]float64 `json:"custom,omitempty"`
+}
+
+// standardUnits are the metric units `go test -bench` emits on its own;
+// every other unit comes from b.ReportMetric and is routed to Custom.
+var standardUnits = map[string]bool{
+	"ns/op":     true,
+	"B/op":      true,
+	"allocs/op": true,
+	"MB/s":      true,
 }
 
 // Report is the whole document.
@@ -81,13 +96,37 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 	if err != nil {
 		return Benchmark{}, false
 	}
-	b := Benchmark{Name: fields[0], Pkg: pkg, Iterations: n, Metrics: map[string]float64{}}
+	name, procs := splitProcs(fields[0])
+	b := Benchmark{Name: name, Pkg: pkg, Procs: procs, Iterations: n, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return Benchmark{}, false
 		}
-		b.Metrics[fields[i+1]] = v
+		unit := fields[i+1]
+		if standardUnits[unit] {
+			b.Metrics[unit] = v
+			continue
+		}
+		if b.Custom == nil {
+			b.Custom = map[string]float64{}
+		}
+		b.Custom[unit] = v
 	}
 	return b, true
+}
+
+// splitProcs splits the trailing -N GOMAXPROCS suffix off a benchmark
+// name: "BenchmarkPipeline-8" -> ("BenchmarkPipeline", 8). A name without
+// one (GOMAXPROCS=1 runs print none) comes back unchanged with procs 0.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name, 0
+	}
+	procs, err := strconv.Atoi(name[i+1:])
+	if err != nil || procs <= 0 {
+		return name, 0
+	}
+	return name[:i], procs
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBenchLineStandard(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkPipeline-8   120   9876543 ns/op   2048 B/op   12 allocs/op", "saiyan")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if b.Name != "BenchmarkPipeline" || b.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d, want BenchmarkPipeline/8", b.Name, b.Procs)
+	}
+	if b.Iterations != 120 {
+		t.Fatalf("iterations = %d, want 120", b.Iterations)
+	}
+	want := map[string]float64{"ns/op": 9876543, "B/op": 2048, "allocs/op": 12}
+	if !reflect.DeepEqual(b.Metrics, want) {
+		t.Fatalf("metrics = %v, want %v", b.Metrics, want)
+	}
+	if b.Custom != nil {
+		t.Fatalf("custom = %v, want none", b.Custom)
+	}
+}
+
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	// A ReportMetric unit like MCUcycles/frame must be kept apart from the
+	// standard go-test units so tooling can trend it without a unit list.
+	b, ok := parseBenchLine("BenchmarkFxpPipeline-4   50   200000 ns/op   61342 MCUcycles/frame   0 B/op", "saiyan")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if got := b.Metrics["ns/op"]; got != 200000 {
+		t.Fatalf("ns/op = %v, want 200000", got)
+	}
+	if _, leaked := b.Metrics["MCUcycles/frame"]; leaked {
+		t.Fatal("custom unit leaked into the standard metrics map")
+	}
+	if got := b.Custom["MCUcycles/frame"]; got != 61342 {
+		t.Fatalf("custom MCUcycles/frame = %v, want 61342", got)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",                      // too short
+		"BenchmarkX ten 5 ns/op",          // bad iteration count
+		"BenchmarkX 10 fast ns/op",        // bad value
+		"BenchmarkX 10 5 ns/op 7",         // dangling value without a unit
+		"BenchmarkX 10 5 ns/op 7 B/op 感想", // odd field count
+	} {
+		if _, ok := parseBenchLine(line, ""); ok {
+			t.Errorf("parseBenchLine(%q) accepted a malformed line", line)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkPipeline-8", "BenchmarkPipeline", 8},
+		{"BenchmarkPipeline", "BenchmarkPipeline", 0},
+		{"BenchmarkGateway/workers-4-16", "BenchmarkGateway/workers-4", 16},
+		{"Benchmark-x", "Benchmark-x", 0}, // non-numeric suffix stays put
+		{"Benchmark-", "Benchmark-", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}

@@ -20,9 +20,15 @@
 //	                                same service as a network daemon: frames
 //	                                and metrics streamed over the wire
 //	                                protocol (-epochs 0 = until interrupted)
+//	saiyan serve -http HOST:PORT    also expose the telemetry plane:
+//	                                /metrics (Prometheus text), /healthz,
+//	                                /snapshot, /debug/pprof/ (combines with
+//	                                -listen or the local epoch loop)
 //	saiyan watch [-frames -metrics -n N -rate T:K -rebalance] HOST:PORT
 //	                                subscribe to a serving gateway and print
-//	                                the live frame/metrics transcript
+//	                                the live frame/metrics transcript (plus
+//	                                the per-epoch obs dump when the server
+//	                                runs with -http)
 //	saiyan fxp [-tags M -frames F -workers N -adcbits B]
 //	                                float vs fixed-point (MCU) datapath:
 //	                                parity, speed, cycle/energy budget
@@ -41,11 +47,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"saiyan"
@@ -476,6 +484,7 @@ func runServe(args []string, g *globals) error {
 	channels := fs.Int("channels", 2, "concurrent ingest channels")
 	epochs := fs.Int("epochs", 6, "epochs to serve (0 with -listen = until interrupted)")
 	listen := fs.String("listen", "", "serve the wire protocol on this TCP address (e.g. 127.0.0.1:7316)")
+	httpAddr := fs.String("http", "", "serve the telemetry plane (/metrics /healthz /snapshot /debug/pprof/) on this address ('' = off)")
 	gap := fs.Duration("gap", 0, "pause between epochs when listening (paces the stream for subscribers)")
 	captureDir := fs.String("capture-dir", "", "allow client capture requests, confined to this directory ('' = captures disabled)")
 	fs.IntVar(&g.tags, "tags", g.tags, "initial tag population")
@@ -524,19 +533,47 @@ func runServe(args []string, g *globals) error {
 		cfg.Degrade = []saiyan.GatewayDegradation{d}
 	}
 
+	// -http turns on the observability registry: the gateway's hot layers
+	// record into it, the HTTP plane reads it, and (with -listen) the
+	// server streams a per-epoch dump to metrics subscribers.
+	var reg *saiyan.ObsRegistry
+	if *httpAddr != "" {
+		reg = saiyan.NewObsRegistry()
+		cfg.Metrics = reg
+	}
+
 	gw, err := saiyan.NewGateway(cfg)
 	if err != nil {
 		return err
 	}
 	if *listen != "" {
-		return serveDaemon(gw, *listen, *epochs, *gap, *captureDir)
+		return serveDaemon(gw, *listen, *epochs, *gap, *captureDir, reg, *httpAddr)
 	}
 	fmt.Printf("serve: %d channels, %d tags (join/%d leave/%d), %d epochs\n",
 		*channels, g.tags, *join, *leave, *epochs)
+	var snapCache atomic.Value // []byte: marshaled snapshot for /snapshot
+	if reg != nil {
+		ln, err := serveTelemetry(*httpAddr, reg, func() []byte {
+			b, _ := snapCache.Load().([]byte)
+			return b
+		})
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /debug/pprof/)\n", ln.Addr())
+	}
 	for i := 0; i < *epochs; i++ {
 		rep, err := gw.RunEpoch(context.Background())
 		if err != nil {
 			return err
+		}
+		if reg != nil {
+			// Snapshot between epochs is safe (RunEpoch is not running)
+			// and keeps /snapshot fresh for the telemetry plane.
+			if b, err := json.Marshal(gw.Snapshot()); err == nil {
+				snapCache.Store(b)
+			}
 		}
 		fxpNote := ""
 		if *useFxp {

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -21,17 +23,33 @@ import (
 	"saiyan"
 )
 
+// serveTelemetry binds httpAddr and serves the observability plane
+// (/metrics, /healthz, /snapshot, /debug/pprof/) in the background until
+// the returned listener is closed. snapshot feeds /snapshot and may return
+// nil while no epoch has completed yet.
+func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []byte) (net.Listener, error) {
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry listen: %w", err)
+	}
+	h := saiyan.NewObsHandler(saiyan.ObsHandlerConfig{Registry: reg, Snapshot: snapshot})
+	go http.Serve(ln, h) //nolint:errcheck // ends when ln closes
+	return ln, nil
+}
+
 // serveDaemon exposes a built gateway over TCP until the epoch budget is
 // spent (epochs > 0) or the process is interrupted. The bound address is
 // printed on the first stdout line so callers that asked for port 0 can
-// find the server.
-func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration, captureDir string) error {
+// find the server; the telemetry address (when -http is set) is printed on
+// a later line, never the first.
+func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration, captureDir string, reg *saiyan.ObsRegistry, httpAddr string) error {
 	srv, err := saiyan.NewServer(saiyan.ServerConfig{
 		Gateway:    gw,
 		Addr:       listen,
 		Epochs:     epochs,
 		EpochGap:   gap,
 		CaptureDir: captureDir,
+		Metrics:    reg,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "saiyan: serve: "+format+"\n", args...)
 		},
@@ -43,6 +61,15 @@ func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duratio
 	defer stop()
 	fmt.Printf("serving on %s (protocol v%d, epochs=%d); watch with 'saiyan watch %s'\n",
 		srv.Addr(), saiyan.ServerProtocolVersion, epochs, srv.Addr())
+	if reg != nil {
+		ln, err := serveTelemetry(httpAddr, reg, srv.SnapshotJSON)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /debug/pprof/)\n", ln.Addr())
+	}
 	if err := srv.Serve(ctx); err != nil {
 		return err
 	}
@@ -137,6 +164,8 @@ func runWatch(args []string, _ *globals) error {
 			fmt.Printf("snapshot: epochs=%d tags=%d/%d delivered=%d/%d switches=%d hops=%d recals=%d\n",
 				s.Epochs, s.TagsActive, s.TagsSeen, s.FramesDelivered, s.FramesScheduled,
 				s.RateSwitches, s.Hops, s.Recalibrations)
+		case saiyan.ServerEventObs:
+			printObsDump(ev.Obs)
 		case saiyan.ServerEventStats:
 			st := ev.Stats
 			fmt.Printf("you: epoch %d frames %d sent/%d dropped, metrics %d sent/%d dropped\n",
@@ -147,6 +176,20 @@ func runWatch(args []string, _ *globals) error {
 			fmt.Println("bye: server shut down cleanly")
 			return nil
 		}
+	}
+}
+
+// printObsDump renders a per-epoch observability registry dump (sent only
+// by servers running with -http): one indented line per series, counters
+// and gauges by value, histograms by count and mean.
+func printObsDump(dump []saiyan.MetricSnapshot) {
+	fmt.Printf("obs: %d series\n", len(dump))
+	for _, m := range dump {
+		if m.Kind == "histogram" {
+			fmt.Printf("  %s count=%d mean=%.4g\n", m.Name, m.Count, m.Mean())
+			continue
+		}
+		fmt.Printf("  %s %.6g\n", m.Name, m.Value)
 	}
 }
 

@@ -180,6 +180,32 @@
 // `saiyan serve -listen` and `saiyan watch` are the CLI faces of this
 // layer; examples/wire is the single-process walkthrough.
 //
+// # Observability
+//
+// Every hot layer can record into an ObsRegistry (internal/obs): atomic
+// counters, gauges, and fixed log-bucket histograms whose writes are
+// lock-free (histograms shard per worker and merge on read). Build one
+// with NewObsRegistry and hand the same registry to
+// PipelineConfig.Metrics, StreamConfig.Metrics, GatewayConfig.Metrics
+// (forwarded to every pipeline and segmenter the gateway builds), and
+// ServerConfig.Metrics:
+//
+//	reg := saiyan.NewObsRegistry()
+//	cfg.Metrics = reg                        // gateway: stage timings, cmd outcomes, ...
+//	srv, _ := saiyan.NewServer(saiyan.ServerConfig{Gateway: gw, Metrics: reg})
+//	h := saiyan.NewObsHandler(saiyan.ObsHandlerConfig{Registry: reg, Snapshot: srv.SnapshotJSON})
+//	go http.Serve(ln, h)                     // /metrics /healthz /snapshot /debug/pprof/
+//
+// NewObsHandler serves the registry as Prometheus text exposition
+// (version 0.0.4) plus a JSON gateway snapshot and the pprof handlers; a
+// server with Metrics set additionally streams the full registry dump to
+// metrics subscribers once per epoch (ServerEventObs). The registry is
+// write-only by contract — no control decision ever reads a metric — so
+// attaching one changes nothing observable: gateway snapshots stay
+// byte-identical with metrics on or off at any worker count, and the
+// decode hot path records without allocating (both pinned by tests).
+// `saiyan serve -http` and `saiyan watch` are the CLI faces.
+//
 // # Fixed-point MCU datapath
 //
 // The paper's decode logic runs on a 19.6 uW MCU (and 2 uW of ASIC digital

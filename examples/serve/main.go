@@ -28,7 +28,10 @@
 //
 // Every command is framed through the real 24-bit downlink codec. The
 // final snapshot is deterministic in the seed: byte-identical at any
-// worker count.
+// worker count — including with the observability registry attached, as
+// here: the run records per-stage timings, command outcomes, and
+// pipeline counters into an ObsRegistry and prints a few series at the
+// end. The registry is write-only, so it never perturbs the loop.
 //
 // Run with: go run ./examples/serve
 package main
@@ -54,6 +57,13 @@ func main() {
 	cfg.MobilitySigma = 0.02
 	cfg.Degrade = []saiyan.GatewayDegradation{{Epoch: 2, Channel: 0, AttenDB: 12}}
 
+	// Attach an observability registry: the gateway forwards it to every
+	// pipeline and segmenter it builds, and records its own stage
+	// timings and command outcomes. `saiyan serve -http` serves the same
+	// registry as a Prometheus /metrics endpoint.
+	reg := saiyan.NewObsRegistry()
+	cfg.Metrics = reg
+
 	gw, err := saiyan.NewGateway(cfg)
 	if err != nil {
 		log.Fatalf("starting gateway: %v", err)
@@ -78,5 +88,17 @@ func main() {
 	for _, s := range snap.Sessions {
 		fmt.Printf("  tag %d: K=%d ch=%d PRR=%.2f (lifetime %.2f) snr=%.1f dB\n",
 			s.Tag, s.RateK, s.Channel, s.WindowPRR, s.PRR(), s.SNREstDB)
+	}
+
+	fmt.Println("\nobservability (a few of the recorded series):")
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "saiyan_gateway_epochs_total", "saiyan_pipeline_frames_total",
+			"saiyan_stream_windows_emitted_total",
+			`saiyan_gateway_cmds_total{op="set_rate",outcome="delivered"}`:
+			fmt.Printf("  %s = %.0f\n", m.Name, m.Value)
+		case "saiyan_pipeline_decode_seconds":
+			fmt.Printf("  %s: count=%d mean=%.1fus\n", m.Name, m.Count, 1e6*m.Mean())
+		}
 	}
 }

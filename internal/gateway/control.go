@@ -126,10 +126,12 @@ func (g *Gateway) sendCommand(rng *rand.Rand, s *session, cmd mac.Command) (bool
 	if rng.Float64() >= g.downlinkPRR(s) {
 		s.cmdsMissed++
 		g.agg.cmdsMissed++
+		g.met.cmdOutcome(cmd.Op, false)
 		return false, nil
 	}
 	s.cmdsDelivered++
 	g.agg.cmdsDelivered++
+	g.met.cmdOutcome(cmd.Op, true)
 	return true, nil
 }
 
@@ -224,9 +226,11 @@ func (g *Gateway) control(epoch int) error {
 		kept := s.missing[:0]
 		for _, m := range s.missing {
 			if m.attempts >= g.cfg.RetryMax {
+				g.met.retxAbandon()
 				continue // budget exhausted: the frame is abandoned
 			}
 			m.attempts++
+			g.met.retxAttempt()
 			ok, err := g.sendCommand(rng, s, mac.Command{Op: mac.OpRetransmit, Addr: addrOf(id), Arg: int(m.seq % 256)})
 			if err != nil {
 				return err

@@ -37,6 +37,7 @@ import (
 	"saiyan/internal/dsp"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
+	"saiyan/internal/obs"
 	"saiyan/internal/radio"
 	"saiyan/internal/sim"
 )
@@ -132,6 +133,15 @@ type Config struct {
 	// RecalThresholdDB re-anchors a session's calibration when its SNR
 	// belief drifts this far from the anchor. Default 3 dB.
 	RecalThresholdDB float64
+
+	// Metrics, when non-nil, receives the gateway's observability series —
+	// per-epoch stage timings, downlink command outcomes by opcode,
+	// retransmit budget spend, session registry size — and is forwarded to
+	// every rate group's pipeline and segmenter. Instrumentation is
+	// write-only and never feeds a control decision, so Snapshot stays
+	// byte-identical at any worker count with metrics on or off (pinned by
+	// TestSnapshotDeterminismWithMetrics).
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns a 2-channel, 8-tag gateway over the paper's
@@ -272,6 +282,10 @@ type Gateway struct {
 	// outcome during the epoch's result fold — in schedule order, on the
 	// RunEpoch goroutine. See SetFrameHook.
 	frameHook func(FrameEvent)
+
+	// met is the registered observability series; nil (all methods no-op)
+	// when Config.Metrics is unset.
+	met *gatewayObs
 }
 
 // FrameEvent is the per-frame slice of one epoch: the decode outcome of a
@@ -351,6 +365,7 @@ func New(cfg Config) (*Gateway, error) {
 		sessions:     make(map[int]*session),
 		atten:        make([]float64, cfg.Channels),
 		chanNoise:    make([]noiseStats, cfg.Channels),
+		met:          newGatewayObs(cfg.Metrics),
 	}
 	// Initial placement is sim.NewTagSet's geometric spacing (one source of
 	// truth); channels are dealt round-robin.
@@ -512,16 +527,21 @@ func (g *Gateway) RunEpoch(ctx context.Context) (EpochReport, error) {
 	preFxp := g.agg.fxpCycles
 
 	plan := g.buildPlan(epoch)
+	ingestStart := time.Now()
 	if err := g.ingest(ctx, plan); err != nil {
 		g.err = fmt.Errorf("gateway: epoch %d: %w", epoch, err)
 		return EpochReport{}, g.err
 	}
+	g.met.stageSince(stageIngest, ingestStart)
 	g.fold(plan)
+	controlStart := time.Now()
 	if err := g.control(epoch); err != nil {
 		g.err = fmt.Errorf("gateway: epoch %d: %w", epoch, err)
 		return EpochReport{}, g.err
 	}
+	g.met.stageSince(stageControl, controlStart)
 	g.epoch++
+	g.met.epochEnd(start, len(g.sessions), len(g.tags))
 
 	rep := EpochReport{
 		Epoch:          epoch,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"saiyan/internal/pipeline"
 	"saiyan/internal/sim"
@@ -118,6 +119,7 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 	if len(plan.groups) == 0 {
 		return nil
 	}
+	renderStart := time.Now()
 	for _, grp := range plan.groups {
 		demod := g.cfg.Demod
 		demod.Params = g.params(grp.k)
@@ -132,6 +134,7 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 			PayloadSymbols: capture.PayloadSymbols,
 			HuntRSSDBm:     g.huntRSS(grp),
 			Seed:           g.cfg.Seed,
+			Metrics:        g.cfg.Metrics,
 		}
 		src, err := stream.NewSource(scfg, capture.Chunks(g.cfg.ChunkSamples), grp.matcher())
 		if err != nil {
@@ -139,9 +142,11 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 		}
 		grp.src = src
 	}
+	g.met.stageSince(stageRender, renderStart)
 
 	// One worker pool per rate: groups sharing a K share PHY parameters and
 	// therefore a pipeline, whatever channel they arrived on.
+	decodeStart := time.Now()
 	for lo := 0; lo < len(plan.groups); {
 		hi := lo
 		for hi < len(plan.groups) && plan.groups[hi].k == plan.groups[lo].k {
@@ -152,6 +157,7 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 		}
 		lo = hi
 	}
+	g.met.stageSince(stageDecode, decodeStart)
 
 	// Channel-level accounting: windows, noise stats (last group of a
 	// channel wins — deterministic, since groups are ordered).
@@ -204,6 +210,7 @@ func (g *Gateway) ingestRateGroup(ctx context.Context, groups []*ingestGroup) er
 		Demod:   g.cfg.Demod,
 		Workers: g.cfg.Workers,
 		Seed:    g.cfg.Seed,
+		Metrics: g.cfg.Metrics,
 	}
 	pcfg.Demod.Params = g.params(groups[0].k)
 	p, err := pipeline.New(pcfg)

@@ -1,0 +1,121 @@
+package gateway
+
+import (
+	"strings"
+	"time"
+
+	"saiyan/internal/mac"
+	"saiyan/internal/obs"
+)
+
+// Epoch stage indexes into gatewayObs.stages.
+const (
+	stageRender = iota
+	stageDecode
+	stageIngest
+	stageControl
+	stageEpoch
+	numStages
+)
+
+// gatewayObs holds the gateway's registered observability series. It is
+// nil when Config.Metrics is unset; every method no-ops on a nil receiver,
+// so call sites instrument unconditionally. Everything here is write-only:
+// no control decision ever reads a metric back, which is what keeps
+// gateway snapshots byte-identical with observability on or off.
+type gatewayObs struct {
+	epochs     *obs.Counter
+	sessions   *obs.Gauge
+	tagsActive *obs.Gauge
+	stages     [numStages]*obs.Histogram
+
+	// cmds maps an opcode to its {delivered, missed} outcome counters,
+	// pre-registered so sendCommand stays alloc-free.
+	cmds map[mac.Opcode][2]*obs.Counter
+
+	retxAttempts  *obs.Counter
+	retxAbandoned *obs.Counter
+}
+
+// newGatewayObs registers the gateway metric family on r (nil r → nil,
+// meaning observability off).
+func newGatewayObs(r *obs.Registry) *gatewayObs {
+	if r == nil {
+		return nil
+	}
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram(`saiyan_gateway_stage_seconds{stage="`+name+`"}`,
+			"per-epoch stage wall time", obs.HistogramOpts{Min: 1e-4, Growth: 2, Buckets: 22})
+	}
+	o := &gatewayObs{
+		epochs:     r.Counter("saiyan_gateway_epochs_total", "epochs served"),
+		sessions:   r.Gauge("saiyan_gateway_sessions", "session registry size, live and departed"),
+		tagsActive: r.Gauge("saiyan_gateway_tags_active", "tags currently deployed"),
+		cmds:       make(map[mac.Opcode][2]*obs.Counter),
+		retxAttempts: r.Counter("saiyan_gateway_retx_attempts_total",
+			"retransmit budget spent: command attempts for missing frames"),
+		retxAbandoned: r.Counter("saiyan_gateway_retx_abandoned_total",
+			"missing frames dropped after exhausting the retry budget"),
+	}
+	o.stages[stageRender] = stage("render")
+	o.stages[stageDecode] = stage("decode")
+	o.stages[stageIngest] = stage("ingest")
+	o.stages[stageControl] = stage("control")
+	o.stages[stageEpoch] = stage("epoch")
+	for _, op := range []mac.Opcode{mac.OpAck, mac.OpRetransmit, mac.OpHopChannel, mac.OpSetRate, mac.OpRecalibrate} {
+		lbl := strings.ReplaceAll(op.String(), "-", "_")
+		o.cmds[op] = [2]*obs.Counter{
+			r.Counter(`saiyan_gateway_cmds_total{op="`+lbl+`",outcome="delivered"}`, "downlink command outcomes by opcode"),
+			r.Counter(`saiyan_gateway_cmds_total{op="`+lbl+`",outcome="missed"}`, "downlink command outcomes by opcode"),
+		}
+	}
+	return o
+}
+
+// stageSince records the wall time since start into one stage histogram.
+func (o *gatewayObs) stageSince(stage int, start time.Time) {
+	if o == nil {
+		return
+	}
+	o.stages[stage].ObserveSince(0, start)
+}
+
+// cmdOutcome counts one downlink command's delivery outcome by opcode.
+func (o *gatewayObs) cmdOutcome(op mac.Opcode, delivered bool) {
+	if o == nil {
+		return
+	}
+	c := o.cmds[op]
+	if delivered {
+		c[0].Inc()
+	} else {
+		c[1].Inc()
+	}
+}
+
+// retxAttempt counts one unit of retransmit budget spent.
+func (o *gatewayObs) retxAttempt() {
+	if o == nil {
+		return
+	}
+	o.retxAttempts.Inc()
+}
+
+// retxAbandon counts a missing frame given up on.
+func (o *gatewayObs) retxAbandon() {
+	if o == nil {
+		return
+	}
+	o.retxAbandoned.Inc()
+}
+
+// epochEnd publishes the end-of-epoch gauges and the whole-epoch timing.
+func (o *gatewayObs) epochEnd(start time.Time, sessions, tags int) {
+	if o == nil {
+		return
+	}
+	o.epochs.Inc()
+	o.sessions.Set(float64(sessions))
+	o.tagsActive.Set(float64(tags))
+	o.stages[stageEpoch].ObserveSince(0, start)
+}

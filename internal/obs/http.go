@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerConfig assembles the HTTP telemetry plane.
+type HandlerConfig struct {
+	// Registry backs /metrics. May be nil (an empty exposition).
+	Registry *Registry
+	// Health, when set, backs /healthz: nil means healthy (200), an error
+	// is reported with a 503. A nil Health is always healthy.
+	Health func() error
+	// Snapshot, when set, backs /snapshot with a cached JSON document
+	// (the gateway snapshot is not safe to take concurrently with the
+	// epoch loop, so the server caches the latest marshaled bytes).
+	// Returning nil yields a 503 until the first snapshot exists.
+	Snapshot func() []byte
+}
+
+// NewHandler builds the telemetry mux: /metrics (Prometheus text
+// exposition 0.0.4), /healthz, /snapshot (cached JSON), and the
+// /debug/pprof/* profiling endpoints — on a private mux, so nothing
+// leaks onto http.DefaultServeMux.
+func NewHandler(cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var body []byte
+		if cfg.Snapshot != nil {
+			body = cfg.Snapshot()
+		}
+		if body == nil {
+			http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,499 @@
+// Package obs is the gateway stack's dependency-free observability layer:
+// an atomic metrics registry (counters, gauges, and fixed log-bucket
+// histograms with lock-free per-worker shards merged on read) plus the
+// exposition machinery that serves it — Prometheus text format for the
+// HTTP telemetry plane and a JSON snapshot for the wire protocol's
+// metrics dump.
+//
+// The design constraints come from the project's determinism bar:
+//
+//   - Instrumentation is write-only. Nothing in this package is ever read
+//     back into a control decision, so gateway snapshots stay
+//     byte-identical at any worker count with observability on or off.
+//   - Every handle is nil-safe: methods on a nil *Counter, *Gauge, or
+//     *Histogram no-op, so call sites instrument unconditionally and a
+//     disabled registry costs one nil check per event.
+//   - The hot path is zero-alloc: Add/Set/Observe touch only atomics and
+//     a binary search over precomputed bucket bounds. Per-worker histogram
+//     shards keep concurrent Observe calls off each other's cache lines;
+//     shards are merged only on read (exposition, snapshot).
+//
+// Registration is get-or-create and idempotent: asking for an existing
+// name returns the existing handle, so layers that rebuild their plumbing
+// per epoch (the gateway constructs a fresh pipeline per rate group every
+// epoch) accumulate into the same series instead of colliding.
+//
+// Metric names follow Prometheus conventions (snake_case, _total for
+// counters, _seconds for durations). A name may carry a fixed label set
+// inline — Counter(`saiyan_gateway_cmds_total{op="set_rate"}`, ...) —
+// and exposition emits the HELP/TYPE header once per base name.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready;
+// a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move both ways. The zero value is ready; a
+// nil *Gauge no-ops.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// lock-free high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// HistogramOpts shapes a histogram's fixed log-spaced bucket grid and its
+// shard count. The zero value is usable.
+type HistogramOpts struct {
+	// Min is the upper bound of the first bucket. Default 1e-6 (1 µs when
+	// observing seconds).
+	Min float64
+	// Growth is the bound-to-bound multiplier. Default 2.
+	Growth float64
+	// Buckets is the number of finite buckets; observations beyond the
+	// last bound land in the implicit +Inf bucket. Default 24.
+	Buckets int
+	// Shards is the number of independent write shards. Size it to the
+	// worker count so concurrent ObserveShard calls never contend; 1 (the
+	// default) is right for single-goroutine writers.
+	Shards int
+}
+
+func (o HistogramOpts) withDefaults() HistogramOpts {
+	if o.Min <= 0 {
+		o.Min = 1e-6
+	}
+	if o.Growth <= 1 {
+		o.Growth = 2
+	}
+	if o.Buckets < 1 {
+		o.Buckets = 24
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	return o
+}
+
+// histShard is one writer's private slice of a histogram. The padding
+// keeps adjacent shards' hot fields (sum, count) off one cache line.
+type histShard struct {
+	counts []atomic.Uint64 // len(bounds)+1; the last slot is the +Inf bucket
+	sum    atomic.Uint64   // math.Float64bits, CAS-accumulated
+	count  atomic.Uint64
+	_      [48]byte
+}
+
+// Histogram is a fixed log-bucket distribution with lock-free per-shard
+// writes merged on read. A nil *Histogram no-ops.
+type Histogram struct {
+	bounds []float64 // ascending finite upper bounds
+	shards []histShard
+}
+
+// NewHistogram builds a standalone (unregistered) histogram; most callers
+// use Registry.Histogram instead.
+func NewHistogram(opts HistogramOpts) *Histogram {
+	opts = opts.withDefaults()
+	h := &Histogram{
+		bounds: make([]float64, opts.Buckets),
+		shards: make([]histShard, opts.Shards),
+	}
+	b := opts.Min
+	for i := range h.bounds {
+		h.bounds[i] = b
+		b *= opts.Growth
+	}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, opts.Buckets+1)
+	}
+	return h
+}
+
+// Observe records v on shard 0 (single-writer histograms).
+func (h *Histogram) Observe(v float64) { h.ObserveShard(0, v) }
+
+// ObserveShard records v on the given write shard. Shard indices wrap, so
+// a worker index is always a valid shard. Zero-alloc.
+func (h *Histogram) ObserveShard(shard int, v float64) {
+	if h == nil {
+		return
+	}
+	if shard < 0 {
+		shard = 0
+	}
+	s := &h.shards[shard%len(h.shards)]
+	// First bound >= v is exactly Prometheus le semantics.
+	s.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	s.count.Add(1)
+	for {
+		old := s.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start on the given shard.
+func (h *Histogram) ObserveSince(shard int, start time.Time) {
+	if h == nil {
+		return
+	}
+	h.ObserveShard(shard, time.Since(start).Seconds())
+}
+
+// merge folds every shard into one (counts, count, sum) view.
+func (h *Histogram) merge() (counts []uint64, count uint64, sum float64) {
+	counts = make([]uint64, len(h.bounds)+1)
+	for si := range h.shards {
+		s := &h.shards[si]
+		for i := range s.counts {
+			counts[i] += s.counts[i].Load()
+		}
+		count += s.count.Load()
+		sum += math.Float64frombits(s.sum.Load())
+	}
+	return counts, count, sum
+}
+
+// Count is the merged observation count across all shards.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	_, n, _ := h.merge()
+	return n
+}
+
+// Sum is the merged observation sum across all shards.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	_, _, s := h.merge()
+	return s
+}
+
+// Metric kinds as they appear in exposition and snapshots.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+// metricEntry is one registered series.
+type metricEntry struct {
+	name   string // full series name, possibly with an inline {label} set
+	base   string // name before the label braces
+	labels string // label set without braces ("" when unlabeled)
+	help   string
+	kind   string
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry holds an ordered set of named metrics. Registration is
+// get-or-create; reads (exposition, snapshot) merge histogram shards.
+// A nil *Registry hands out nil handles, so a disabled registry costs
+// only the handles' nil checks.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*metricEntry
+	byName  map[string]*metricEntry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metricEntry)}
+}
+
+// splitName separates an inline label set from the series name:
+// `x_total{op="a"}` -> ("x_total", `op="a"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// lookup returns the existing entry for name, panicking on a kind clash
+// (a programming error, like redeclaring a variable at a new type).
+func (r *Registry) lookup(name, kind string) (*metricEntry, bool) {
+	e, ok := r.byName[name]
+	if ok && e.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, e.kind, kind))
+	}
+	return e, ok
+}
+
+// register adds a new entry under the lock.
+func (r *Registry) register(e *metricEntry) {
+	e.base, e.labels = splitName(e.name)
+	r.entries = append(r.entries, e)
+	r.byName[e.name] = e
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, KindCounter); ok {
+		return e.c
+	}
+	e := &metricEntry{name: name, help: help, kind: KindCounter, c: new(Counter)}
+	r.register(e)
+	return e.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, KindGauge); ok {
+		return e.g
+	}
+	e := &metricEntry{name: name, help: help, kind: KindGauge, g: new(Gauge)}
+	r.register(e)
+	return e.g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// opts on first use (later opts are ignored — the first registration wins,
+// which is what idempotent per-epoch re-registration needs).
+func (r *Registry) Histogram(name, help string, opts HistogramOpts) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.lookup(name, KindHistogram); ok {
+		return e.h
+	}
+	e := &metricEntry{name: name, help: help, kind: KindHistogram, h: NewHistogram(opts)}
+	r.register(e)
+	return e.h
+}
+
+// MetricSnapshot is the merged read-side view of one series, stable
+// enough to ship over the wire protocol's metrics-dump message.
+type MetricSnapshot struct {
+	Name string `json:"name"` // full series name including inline labels
+	Kind string `json:"kind"`
+	// Value carries a counter's cumulative count or a gauge's level.
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields: merged observation count and sum, the finite
+	// bucket upper bounds, and the per-bucket (non-cumulative) counts —
+	// len(Counts) == len(Bounds)+1, the last slot being the +Inf bucket.
+	Count  uint64    `json:"count,omitempty"`
+	Sum    float64   `json:"sum,omitempty"`
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+}
+
+// Mean is a histogram snapshot's average observation (0 when empty).
+func (m MetricSnapshot) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// Snapshot merges every registered series into a stable-order dump
+// (registration order). A nil registry snapshots empty.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	out := make([]MetricSnapshot, 0, len(r.ordered()))
+	for _, e := range r.ordered() {
+		m := MetricSnapshot{Name: e.name, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			m.Value = float64(e.c.Value())
+		case KindGauge:
+			m.Value = e.g.Value()
+		case KindHistogram:
+			counts, count, sum := e.h.merge()
+			m.Count, m.Sum = count, sum
+			m.Bounds = append([]float64(nil), e.h.bounds...)
+			m.Counts = counts
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// ordered copies the entry list under the lock; entries themselves are
+// append-only and their values atomic, so rendering happens lock-free.
+func (r *Registry) ordered() []*metricEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metricEntry(nil), r.entries...)
+}
+
+// helpEscaper renders HELP text onto one exposition line.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// fmtFloat renders a float the way Prometheus text exposition expects.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// series renders "base{labels,extra} value" with the brace bookkeeping
+// that merging an inline label set with per-bucket le labels needs.
+func series(b *strings.Builder, base, labels, extra, value string) {
+	b.WriteString(base)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format 0.0.4: HELP/TYPE once per base name (label variants
+// share a header), then one line per sample, histograms expanded into
+// cumulative _bucket{le=...}, _sum, and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// All series of one family must be contiguous in the exposition, so
+	// group label variants under their base name in first-seen order.
+	var bases []string
+	families := make(map[string][]*metricEntry)
+	for _, e := range r.ordered() {
+		if _, ok := families[e.base]; !ok {
+			bases = append(bases, e.base)
+		}
+		families[e.base] = append(families[e.base], e)
+	}
+	var b strings.Builder
+	for _, base := range bases {
+		group := families[base]
+		fmt.Fprintf(&b, "# HELP %s %s\n", base, helpEscaper.Replace(group[0].help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, group[0].kind)
+		for _, e := range group {
+			r.writeSeries(&b, e)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSeries renders one entry's sample lines.
+func (r *Registry) writeSeries(b *strings.Builder, e *metricEntry) {
+	switch e.kind {
+	case KindCounter:
+		series(b, e.base, e.labels, "", strconv.FormatUint(e.c.Value(), 10))
+	case KindGauge:
+		series(b, e.base, e.labels, "", fmtFloat(e.g.Value()))
+	case KindHistogram:
+		counts, count, sum := e.h.merge()
+		cum := uint64(0)
+		for i, bound := range e.h.bounds {
+			cum += counts[i]
+			series(b, e.base+"_bucket", e.labels, `le="`+fmtFloat(bound)+`"`, strconv.FormatUint(cum, 10))
+		}
+		series(b, e.base+"_bucket", e.labels, `le="+Inf"`, strconv.FormatUint(count, 10))
+		series(b, e.base+"_sum", e.labels, "", fmtFloat(sum))
+		series(b, e.base+"_count", e.labels, "", strconv.FormatUint(count, 10))
+	}
+}

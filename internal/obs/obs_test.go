@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand/v2"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("saiyan_test_total", "test counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if again := r.Counter("saiyan_test_total", "dup"); again != c {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+
+	g := r.Gauge("saiyan_test_depth", "test gauge")
+	g.Set(3.5)
+	g.Add(-1)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	g.SetMax(10)
+	g.SetMax(4) // below the mark: must not lower it
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after SetMax = %g, want 10", got)
+	}
+}
+
+func TestNilHandlesNoOp(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(7)
+	g.Set(1)
+	g.SetMax(2)
+	g.Add(3)
+	h.Observe(1)
+	h.ObserveShard(3, 1)
+	h.ObserveSince(0, time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if r.Counter("x", "") != nil || r.Gauge("y", "") != nil || r.Histogram("z", "", HistogramOpts{}) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry must snapshot empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry exposition: %v", err)
+	}
+}
+
+// TestHistogramShardMerge drives the sharded histogram with a deterministic
+// observation stream and checks the merged view against a sequential
+// single-shard reference.
+func TestHistogramShardMerge(t *testing.T) {
+	const shards = 8
+	opts := HistogramOpts{Min: 1e-6, Growth: 2, Buckets: 20, Shards: shards}
+	sharded := NewHistogram(opts)
+	ref := NewHistogram(HistogramOpts{Min: 1e-6, Growth: 2, Buckets: 20, Shards: 1})
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	obs := make([]float64, 10000)
+	for i := range obs {
+		obs[i] = math.Exp(rng.Float64()*20 - 14) // spans well past both grid ends
+	}
+	for i, v := range obs {
+		sharded.ObserveShard(i%shards, v)
+		ref.Observe(v)
+	}
+
+	gotCounts, gotN, gotSum := sharded.merge()
+	wantCounts, wantN, wantSum := ref.merge()
+	if gotN != wantN {
+		t.Fatalf("merged count = %d, want %d", gotN, wantN)
+	}
+	if math.Abs(gotSum-wantSum) > 1e-9*math.Abs(wantSum) {
+		t.Fatalf("merged sum = %g, want %g", gotSum, wantSum)
+	}
+	for i := range wantCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+	var inBuckets uint64
+	for _, c := range gotCounts {
+		inBuckets += c
+	}
+	if inBuckets != gotN {
+		t.Fatalf("bucket counts sum to %d, count says %d", inBuckets, gotN)
+	}
+}
+
+// TestConcurrentWrites hammers one counter, one gauge, and one sharded
+// histogram from many goroutines; run under -race this is the data-race
+// proof, and the totals prove no increment was lost.
+func TestConcurrentWrites(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	r := NewRegistry()
+	c := r.Counter("saiyan_test_hits_total", "concurrent counter")
+	g := r.Gauge("saiyan_test_hwm", "concurrent high-water mark")
+	h := r.Histogram("saiyan_test_lat_seconds", "concurrent histogram",
+		HistogramOpts{Shards: workers})
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(float64(w*perWorker + i))
+				h.ObserveShard(w, float64(i)*1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := g.Value(), float64(workers*perWorker-1); got != want {
+		t.Fatalf("gauge hwm = %g, want %g", got, want)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestZeroAllocHotPath pins the zero-alloc contract of every write-side
+// primitive the decode hot path uses.
+func TestZeroAllocHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("saiyan_test_total", "c")
+	g := r.Gauge("saiyan_test_g", "g")
+	h := r.Histogram("saiyan_test_h", "h", HistogramOpts{Shards: 4})
+	start := time.Now()
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(7)
+		g.SetMax(9)
+		h.ObserveShard(2, 3e-5)
+		h.ObserveSince(1, start)
+	}); n != 0 {
+		t.Fatalf("hot-path write allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("saiyan_frames_total", "frames processed").Add(12)
+	r.Counter(`saiyan_cmds_total{op="set_rate",outcome="delivered"}`, "commands by op").Add(3)
+	r.Counter(`saiyan_cmds_total{op="set_rate",outcome="missed"}`, "commands by op").Add(1)
+	r.Gauge("saiyan_queue_depth", "queue depth").Set(2)
+	h := r.Histogram("saiyan_decode_seconds", "decode latency",
+		HistogramOpts{Min: 0.001, Growth: 10, Buckets: 3, Shards: 2})
+	h.ObserveShard(0, 0.0005) // first bucket
+	h.ObserveShard(1, 0.05)   // third bucket
+	h.ObserveShard(0, 5)      // +Inf overflow
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# HELP saiyan_frames_total frames processed",
+		"# TYPE saiyan_frames_total counter",
+		"saiyan_frames_total 12",
+		`saiyan_cmds_total{op="set_rate",outcome="delivered"} 3`,
+		`saiyan_cmds_total{op="set_rate",outcome="missed"} 1`,
+		"# TYPE saiyan_queue_depth gauge",
+		"saiyan_queue_depth 2",
+		"# TYPE saiyan_decode_seconds histogram",
+		`saiyan_decode_seconds_bucket{le="0.001"} 1`,
+		`saiyan_decode_seconds_bucket{le="0.01"} 1`,
+		`saiyan_decode_seconds_bucket{le="0.1"} 2`,
+		`saiyan_decode_seconds_bucket{le="+Inf"} 3`,
+		"saiyan_decode_seconds_count 3",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition misses %q:\n%s", want, text)
+		}
+	}
+	// The two cmds_total label variants share one HELP/TYPE header.
+	if n := strings.Count(text, "# TYPE saiyan_cmds_total counter"); n != 1 {
+		t.Errorf("cmds_total TYPE header appears %d times, want 1:\n%s", n, text)
+	}
+	// Every non-comment line is "name{labels} value" — the format CI's
+	// smoke check greps for.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("saiyan_a_total", "a").Add(5)
+	r.Gauge("saiyan_b", "b").Set(1.5)
+	r.Histogram("saiyan_c_seconds", "c", HistogramOpts{Buckets: 4}).Observe(2e-6)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []MetricSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0].Name != "saiyan_a_total" || back[0].Value != 5 {
+		t.Fatalf("snapshot did not survive the JSON round trip: %+v", back)
+	}
+	hist := back[2]
+	if hist.Kind != KindHistogram || hist.Count != 1 || len(hist.Counts) != len(hist.Bounds)+1 {
+		t.Fatalf("histogram snapshot malformed: %+v", hist)
+	}
+	if got := hist.Mean(); got != hist.Sum {
+		t.Fatalf("mean of single observation = %g, want %g", got, hist.Sum)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("saiyan_up_total", "up").Inc()
+	var snapshot []byte
+	h := NewHandler(HandlerConfig{
+		Registry: r,
+		Health:   func() error { return nil },
+		Snapshot: func() []byte { return snapshot },
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, strings.TrimSpace(string(body)), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, ctype := get("/metrics"); code != 200 ||
+		!strings.Contains(body, "saiyan_up_total 1") ||
+		!strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics: code=%d ctype=%q body=%q", code, ctype, body)
+	}
+	if code, body, _ := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: code=%d body=%q", code, body)
+	}
+	// /snapshot before the first cache fill is a 503, then serves JSON.
+	if code, _, _ := get("/snapshot"); code != 503 {
+		t.Fatalf("/snapshot without cache: code=%d, want 503", code)
+	}
+	snapshot = []byte(`{"epochs":3}`)
+	if code, body, ctype := get("/snapshot"); code != 200 || body != `{"epochs":3}` ||
+		!strings.Contains(ctype, "application/json") {
+		t.Fatalf("/snapshot: code=%d ctype=%q body=%q", code, ctype, body)
+	}
+	if code, body, _ := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}

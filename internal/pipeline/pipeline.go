@@ -34,6 +34,7 @@ import (
 	"saiyan/internal/core"
 	"saiyan/internal/dsp"
 	"saiyan/internal/lora"
+	"saiyan/internal/obs"
 	"saiyan/internal/trace"
 )
 
@@ -74,6 +75,15 @@ type Config struct {
 	// worker bootstraps thresholds from the window's own preamble. The zero
 	// value uses core.DefaultAGCConfig.
 	AGC core.AGCConfig
+
+	// Metrics, when non-nil, receives the pipeline's observability series:
+	// submit queue depth, batch and per-frame decode latency, scratch-pool
+	// churn, and the fxp cycle distribution. Instrumentation is write-only
+	// — nothing is read back into a decode decision — so a fixed seed
+	// yields an identical symbol stream at any worker count with metrics
+	// on or off. Histograms are sharded per worker; the decode hot path
+	// stays zero-alloc.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills zero fields and validates.
@@ -222,6 +232,48 @@ type Pipeline struct {
 	symbolErrs     atomic.Uint64
 	simSamples     atomic.Uint64
 	fxpCycles      atomic.Uint64
+
+	met pmetrics
+}
+
+// pmetrics holds the pipeline's registered observability series. The zero
+// value (all handles nil) no-ops on every write, so call sites instrument
+// unconditionally; only the time.Now() reads feeding the latency
+// histograms are gated on the `on` flag, keeping a metrics-off pipeline
+// free of clock syscalls on the hot path.
+type pmetrics struct {
+	on            bool
+	queueDepth    *obs.Gauge
+	batches       *obs.Counter
+	frames        *obs.Counter
+	scratchGets   *obs.Counter
+	scratchMisses *obs.Counter
+	batchSec      *obs.Histogram
+	decodeSec     *obs.Histogram
+	fxpCycles     *obs.Histogram
+}
+
+// newPipelineMetrics registers the pipeline family. Registration is
+// idempotent (obs.Registry is get-or-create), so the gateway's
+// pipeline-per-rate-group-per-epoch rebuilds accumulate into one series
+// set; histogram shards are sized by the first registrant's worker count.
+func newPipelineMetrics(r *obs.Registry, workers int) pmetrics {
+	if r == nil {
+		return pmetrics{}
+	}
+	lat := obs.HistogramOpts{Shards: workers}
+	return pmetrics{
+		on:            true,
+		queueDepth:    r.Gauge("saiyan_pipeline_queue_depth", "submitted batches waiting in the bounded job queue"),
+		batches:       r.Counter("saiyan_pipeline_batches_total", "batches pulled off the queue by workers"),
+		frames:        r.Counter("saiyan_pipeline_frames_total", "frames fully demodulated"),
+		scratchGets:   r.Counter("saiyan_pipeline_scratch_gets_total", "scratch buffers checked out of the pool"),
+		scratchMisses: r.Counter("saiyan_pipeline_scratch_misses_total", "scratch checkouts the pool could not serve (allocated fresh)"),
+		batchSec:      r.Histogram("saiyan_pipeline_batch_seconds", "wall time to demodulate one submitted batch", lat),
+		decodeSec:     r.Histogram("saiyan_pipeline_decode_seconds", "per-frame decode latency", lat),
+		fxpCycles: r.Histogram("saiyan_pipeline_fxp_cycles", "fixed-point datapath MCU cycles per frame",
+			obs.HistogramOpts{Min: 1024, Growth: 2, Buckets: 20, Shards: workers}),
+	}
 }
 
 // New validates cfg and starts the worker pool.
@@ -244,10 +296,14 @@ func New(cfg Config) (*Pipeline, error) {
 		results:  make(chan Result, cfg.ResultBuffer),
 		calCache: make(map[float64]*core.Demodulator),
 	}
-	p.scratch.New = func() any { return &core.FrameScratch{} }
+	p.met = newPipelineMetrics(cfg.Metrics, cfg.Workers)
+	p.scratch.New = func() any {
+		p.met.scratchMisses.Inc()
+		return &core.FrameScratch{}
+	}
 	p.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		go p.worker()
+		go p.worker(w)
 	}
 	return p, nil
 }
@@ -273,6 +329,7 @@ func (p *Pipeline) Submit(batch ...Job) error {
 	}
 	p.framesIn.Add(uint64(len(batch)))
 	p.jobs <- jobs
+	p.met.queueDepth.Set(float64(len(p.jobs)))
 	return nil
 }
 
@@ -436,9 +493,17 @@ func (p *Pipeline) recorder() {
 	}
 }
 
-// Stats returns a snapshot of the aggregate counters. The elapsed clock
-// runs from the first Submit; after Drain it is frozen at the moment the
-// last frame completed.
+// Stats returns a snapshot of the aggregate counters.
+//
+// The elapsed clock starts at the first Submit and is intentionally LIVE
+// until Drain: a pre-Drain snapshot recomputes time.Now() on every call,
+// so two successive snapshots of a still-open pipeline report different
+// Elapsed values — that is the point of a progress snapshot, and
+// throughput derived from it stays honest even when submission has
+// paused. Drain freezes the clock at the moment the last in-flight frame
+// completed; every post-Drain snapshot is then stable and identical.
+// Callers wanting a final, reproducible Elapsed must read Stats after
+// Drain (or use Drain's return value).
 func (p *Pipeline) Stats() Stats {
 	elapsed := time.Duration(p.elapsed.Load())
 	if elapsed == 0 {
@@ -470,16 +535,28 @@ type workerState struct {
 }
 
 // worker owns a private clone of each calibrated master it encounters and
-// processes batches until the queue closes.
-func (p *Pipeline) worker() {
+// processes batches until the queue closes. The worker index doubles as
+// the histogram write shard, so concurrent observations never contend.
+func (p *Pipeline) worker(w int) {
 	defer p.wg.Done()
 	ws := &workerState{demods: make(map[float64]*core.Demodulator)}
 	for batch := range p.jobs {
+		p.met.queueDepth.Set(float64(len(p.jobs)))
+		var start time.Time
+		if p.met.on {
+			start = time.Now()
+		}
 		sc := p.scratch.Get().(*core.FrameScratch)
+		p.met.scratchGets.Inc()
 		for _, j := range batch {
-			p.process(ws, sc, j)
+			p.process(ws, sc, j, w)
 		}
 		p.scratch.Put(sc)
+		if p.met.on {
+			p.met.batchSec.ObserveSince(w, start)
+		}
+		p.met.batches.Inc()
+		p.met.frames.Add(uint64(len(batch)))
 	}
 }
 
@@ -498,8 +575,13 @@ func (p *Pipeline) streamBase() *core.Demodulator {
 }
 
 // process demodulates one frame and publishes its result and counters.
-func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job) {
+// The worker index w selects the histogram write shard.
+func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job, w int) {
 	res := Result{Tag: j.Tag, Seq: j.seq, SymbolErrs: -1}
+	var t0 time.Time
+	if p.met.on {
+		t0 = time.Now()
+	}
 	// The noise shard is keyed by the frame's global sequence number (or
 	// the job's explicit override during replay), never by worker
 	// identity, so reassigning frames across a different worker count
@@ -521,6 +603,7 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job) {
 		p.simSamples.Add(uint64(sc.Rendered))
 		if c := d.TakeFxpCycles(); c != 0 {
 			p.fxpCycles.Add(c)
+			p.met.fxpCycles.ObserveShard(w, float64(c))
 		}
 	case j.Env != nil:
 		// Stream decode: the envelope already exists; nothing is rendered
@@ -533,9 +616,13 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job) {
 		res.Symbols, res.Detected, res.Err = ws.streamD.DecodeStreamWindow(j.Env, j.EnvC, j.NSymbols, p.cfg.AGC)
 		if c := ws.streamD.TakeFxpCycles(); c != 0 {
 			p.fxpCycles.Add(c)
+			p.met.fxpCycles.ObserveShard(w, float64(c))
 		}
 	default:
 		res.Err = errors.New("pipeline: job with neither frame nor envelope window")
+	}
+	if p.met.on {
+		p.met.decodeSec.ObserveSince(w, t0)
 	}
 	if p.recCh != nil {
 		rec, recErr := p.record(j, res, sc, nseed)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"saiyan/internal/lora"
 	"saiyan/internal/radio"
@@ -210,6 +211,44 @@ func TestStatsAccounting(t *testing.T) {
 	}
 	if st.String() == "" {
 		t.Error("empty Stats string")
+	}
+}
+
+// TestStatsElapsedSemantics pins the two-phase contract of the Stats
+// clock: before Drain, Elapsed is LIVE (it advances between calls, so a
+// mid-run snapshot prices throughput against wall time so far); after
+// Drain it is FROZEN at the submit-to-drain span, and every later call
+// returns the identical value.
+func TestStatsElapsedSemantics(t *testing.T) {
+	jobs := testTraffic(t, 3, 2)
+	cfg := DefaultConfig()
+	cfg.Seed = testSeed
+	cfg.Workers = 2
+	cfg.DiscardResults = true
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Elapsed != 0 {
+		t.Errorf("clock running before the first Submit: %v", st.Elapsed)
+	}
+	if err := p.Submit(jobs...); err != nil {
+		t.Fatal(err)
+	}
+	live1 := p.Stats().Elapsed
+	if live1 <= 0 {
+		t.Fatalf("clock not started by Submit: %v", live1)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if live2 := p.Stats().Elapsed; live2 <= live1 {
+		t.Errorf("pre-Drain clock is not live: %v then %v", live1, live2)
+	}
+	final := p.Drain()
+	frozen1 := p.Stats().Elapsed
+	time.Sleep(5 * time.Millisecond)
+	frozen2 := p.Stats().Elapsed
+	if frozen1 != final.Elapsed || frozen2 != final.Elapsed {
+		t.Errorf("post-Drain clock moved: Drain=%v then %v, %v", final.Elapsed, frozen1, frozen2)
 	}
 }
 

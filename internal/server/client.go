@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"saiyan/internal/gateway"
+	"saiyan/internal/obs"
 )
 
 // EventKind discriminates the messages a subscriber receives.
@@ -31,6 +32,9 @@ const (
 	// EventBye announces a clean server shutdown; the stream ends after
 	// it.
 	EventBye
+	// EventObs is the server's per-epoch observability registry dump
+	// (Event.Obs); only servers running with metrics enabled send it.
+	EventObs
 )
 
 // String names the kind for logs and transcripts.
@@ -48,6 +52,8 @@ func (k EventKind) String() string {
 		return "error"
 	case EventBye:
 		return "bye"
+	case EventObs:
+		return "obs"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -60,6 +66,7 @@ type Event struct {
 	Snapshot *gateway.Snapshot
 	Stats    ClientStats
 	Err      string
+	Obs      []obs.MetricSnapshot
 }
 
 // Client is a protocol client: a subscriber and control handle for one
@@ -224,6 +231,12 @@ func (c *Client) Next() (Event, error) {
 				return Event{}, fmt.Errorf("%w: malformed snapshot: %v", ErrCorrupt, err)
 			}
 			return Event{Kind: EventSnapshot, Snapshot: snap}, nil
+		case msgObs:
+			var dump []obs.MetricSnapshot
+			if err := json.Unmarshal(payload, &dump); err != nil {
+				return Event{}, fmt.Errorf("%w: malformed obs dump: %v", ErrCorrupt, err)
+			}
+			return Event{Kind: EventObs, Obs: dump}, nil
 		case msgClientStats:
 			var st ClientStats
 			if err := json.Unmarshal(payload, &st); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"saiyan/internal/gateway"
+	"saiyan/internal/obs"
 )
 
 // Config assembles a protocol server around a gateway. The zero value of
@@ -56,6 +57,15 @@ type Config struct {
 	// Logf, when set, receives server lifecycle lines (client connects,
 	// drops, control rejections). Default: silent.
 	Logf func(format string, args ...any)
+
+	// Metrics, when non-nil, receives the server's observability series
+	// (connected clients, fanout drops, bytes written, write-deadline
+	// evictions, per-client queue high-water mark) AND enables the
+	// per-epoch obs wire message: after every served epoch the registry's
+	// full dump is sent to metrics subscribers as a 0x17 message. The
+	// caller typically shares one registry between the gateway and the
+	// server so the dump covers every layer.
+	Metrics *obs.Registry
 
 	// tuneConn, when set, adjusts each accepted connection before the
 	// handshake. Test hook: shrinking socket buffers makes a non-reading
@@ -103,13 +113,22 @@ type Hello struct {
 
 // ClientStats is the per-subscriber delivery accounting the server sends
 // after every epoch: how many messages this client received and how many
-// the backpressure policy dropped because its queues were full.
+// the backpressure policy dropped because its queues were full, plus the
+// slow-consumer evidence — the deepest its queues ever got and the bytes
+// actually written to its socket.
 type ClientStats struct {
 	Epoch          int    `json:"epoch"`
 	FramesSent     uint64 `json:"frames_sent"`
 	FramesDropped  uint64 `json:"frames_dropped"`
 	MetricsSent    uint64 `json:"metrics_sent"`
 	MetricsDropped uint64 `json:"metrics_dropped"`
+	// QueueHWM is the high-water mark of this client's pending message
+	// backlog (frames + metrics queues combined) over the connection's
+	// lifetime.
+	QueueHWM uint64 `json:"queue_hwm"`
+	// BytesWritten is the total bytes successfully written to this
+	// client's socket.
+	BytesWritten uint64 `json:"bytes_written"`
 }
 
 // client is one connected subscriber.
@@ -134,6 +153,19 @@ type client struct {
 	framesDropped  atomic.Uint64
 	metricsSent    atomic.Uint64
 	metricsDropped atomic.Uint64
+	queueHWM       atomic.Uint64 // deepest combined queue backlog seen
+	bytesWritten   atomic.Uint64 // bytes successfully written to the socket
+}
+
+// noteBacklog raises the client's queue high-water mark to n if deeper
+// than anything seen before.
+func (c *client) noteBacklog(n uint64) {
+	for {
+		old := c.queueHWM.Load()
+		if old >= n || c.queueHWM.CompareAndSwap(old, n) {
+			return
+		}
+	}
 }
 
 // controlOp is one decoded control request awaiting the epoch boundary.
@@ -167,7 +199,39 @@ type Server struct {
 
 	capture *captureWriter
 
+	// snapJSON caches the latest epoch's marshaled gateway snapshot:
+	// Gateway.Snapshot is not safe to take concurrently with the epoch
+	// loop, so out-of-band consumers (the HTTP telemetry plane's
+	// /snapshot) read this cache instead.
+	snapJSON atomic.Value // []byte
+
+	// met holds the server's observability handles; all fields are
+	// nil-safe no-ops when Config.Metrics is unset.
+	met serverObs
+
 	wg sync.WaitGroup
+}
+
+// serverObs is the server's registered metric family.
+type serverObs struct {
+	clients   *obs.Gauge
+	queueHWM  *obs.Gauge
+	drops     *obs.Counter
+	bytes     *obs.Counter
+	evictions *obs.Counter
+}
+
+func newServerObs(r *obs.Registry) serverObs {
+	if r == nil {
+		return serverObs{}
+	}
+	return serverObs{
+		clients:   r.Gauge("saiyan_server_clients", "connected subscribers"),
+		queueHWM:  r.Gauge("saiyan_server_queue_hwm", "deepest pending-message backlog any client has reached"),
+		drops:     r.Counter("saiyan_server_fanout_drops_total", "messages dropped because a client queue was full"),
+		bytes:     r.Counter("saiyan_server_bytes_written_total", "bytes successfully written to client sockets"),
+		evictions: r.Counter("saiyan_server_evictions_total", "clients disconnected because a write failed or missed its deadline"),
+	}
 }
 
 // New validates cfg and binds the listen socket, so Addr is routable
@@ -187,6 +251,7 @@ func New(cfg Config) (*Server, error) {
 		ln:      ln,
 		clients: make(map[*client]struct{}),
 		control: make(chan controlOp, 64),
+		met:     newServerObs(cfg.Metrics),
 	}
 	snap := cfg.Gateway.Snapshot()
 	s.hello = Hello{
@@ -200,6 +265,15 @@ func New(cfg Config) (*Server, error) {
 
 // Addr is the bound listen address ("127.0.0.1:43125").
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// SnapshotJSON returns the most recent served epoch's marshaled gateway
+// snapshot, or nil before the first epoch completes. The returned bytes
+// are shared; callers must not mutate them. Safe to call concurrently
+// with Serve — this is the feed for the HTTP telemetry plane's /snapshot.
+func (s *Server) SnapshotJSON() []byte {
+	b, _ := s.snapJSON.Load().([]byte)
+	return b
+}
 
 // Close releases the listen socket of a server that was never (or is no
 // longer) serving. A running Serve call closes it itself on return.
@@ -320,6 +394,7 @@ func (s *Server) admit(conn net.Conn) {
 		return
 	}
 	s.clients[c] = struct{}{}
+	s.met.clients.Set(float64(len(s.clients)))
 	s.mu.Unlock()
 	s.cfg.Logf("server: %s connected", c.name)
 
@@ -333,6 +408,7 @@ func (s *Server) drop(c *client) {
 	s.mu.Lock()
 	_, present := s.clients[c]
 	delete(s.clients, c)
+	s.met.clients.Set(float64(len(s.clients)))
 	s.mu.Unlock()
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.conn.Close()
@@ -419,9 +495,20 @@ func (s *Server) send(c *client, queue chan []byte, msg []byte, sent, dropped *a
 	select {
 	case queue <- msg:
 		sent.Add(1)
+		backlog := uint64(len(c.frames) + len(c.metrics))
+		c.noteBacklog(backlog)
+		s.met.queueHWM.SetMax(float64(backlog))
 	default:
 		dropped.Add(1)
+		s.met.drops.Inc()
 	}
+}
+
+// evict counts and executes a write-failure disconnect: the client could
+// not accept a message within the write deadline.
+func (s *Server) evict(c *client) {
+	s.met.evictions.Inc()
+	s.drop(c)
 }
 
 // writeLoop drains one client's queues to its socket. Metrics messages are
@@ -431,7 +518,11 @@ func (s *Server) writeLoop(c *client) {
 	defer s.wg.Done()
 	write := func(msg []byte) bool {
 		c.conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		_, err := c.conn.Write(msg)
+		n, err := c.conn.Write(msg)
+		if n > 0 {
+			c.bytesWritten.Add(uint64(n))
+			s.met.bytes.Add(uint64(n))
+		}
 		return err == nil
 	}
 	for {
@@ -439,7 +530,7 @@ func (s *Server) writeLoop(c *client) {
 		select {
 		case msg := <-c.metrics:
 			if !write(msg) {
-				s.drop(c)
+				s.evict(c)
 				return
 			}
 			continue
@@ -448,12 +539,12 @@ func (s *Server) writeLoop(c *client) {
 		select {
 		case msg := <-c.metrics:
 			if !write(msg) {
-				s.drop(c)
+				s.evict(c)
 				return
 			}
 		case msg := <-c.frames:
 			if !write(msg) {
-				s.drop(c)
+				s.evict(c)
 				return
 			}
 		case <-c.stop:
@@ -464,12 +555,12 @@ func (s *Server) writeLoop(c *client) {
 						// A drain failure must still drop the client:
 						// readLoop is blocked in readMsg until the conn
 						// closes, and shutdown's wg.Wait needs it back.
-						s.drop(c)
+						s.evict(c)
 						return
 					}
 				case msg := <-c.frames:
 					if !write(msg) {
-						s.drop(c)
+						s.evict(c)
 						return
 					}
 				default:
@@ -510,9 +601,11 @@ func (s *Server) onFrame(ev gateway.FrameEvent) {
 	s.mu.Unlock()
 }
 
-// publishEpoch fans out the per-epoch metrics: the epoch report and a full
-// snapshot to every metrics subscriber, then each client's own delivery
-// stats.
+// publishEpoch fans out the per-epoch metrics: the epoch report, a full
+// snapshot, and (with observability enabled) the obs registry dump to
+// every metrics subscriber, then each client's own delivery stats. The
+// marshaled snapshot is also cached for out-of-band readers
+// (SnapshotJSON).
 func (s *Server) publishEpoch(rep gateway.EpochReport) {
 	snap := s.cfg.Gateway.Snapshot()
 	repJSON, err := json.Marshal(rep)
@@ -525,8 +618,17 @@ func (s *Server) publishEpoch(rep gateway.EpochReport) {
 		s.cfg.Logf("server: snapshot marshal: %v", err)
 		return
 	}
+	s.snapJSON.Store(snapJSON)
 	repMsg := appendMsg(nil, msgEpoch, repJSON)
 	snapMsg := appendMsg(nil, msgSnapshot, snapJSON)
+	var obsMsg []byte
+	if s.cfg.Metrics != nil {
+		if dump, err := json.Marshal(s.cfg.Metrics.Snapshot()); err == nil {
+			obsMsg = appendMsg(nil, msgObs, dump)
+		} else {
+			s.cfg.Logf("server: obs dump marshal: %v", err)
+		}
+	}
 
 	s.mu.Lock()
 	s.hello = Hello{
@@ -541,12 +643,17 @@ func (s *Server) publishEpoch(rep gateway.EpochReport) {
 		}
 		s.send(c, c.metrics, repMsg, &c.metricsSent, &c.metricsDropped)
 		s.send(c, c.metrics, snapMsg, &c.metricsSent, &c.metricsDropped)
+		if obsMsg != nil {
+			s.send(c, c.metrics, obsMsg, &c.metricsSent, &c.metricsDropped)
+		}
 		stats := ClientStats{
 			Epoch:          rep.Epoch,
 			FramesSent:     c.framesSent.Load(),
 			FramesDropped:  c.framesDropped.Load(),
 			MetricsSent:    c.metricsSent.Load(),
 			MetricsDropped: c.metricsDropped.Load(),
+			QueueHWM:       c.queueHWM.Load(),
+			BytesWritten:   c.bytesWritten.Load(),
 		}
 		if payload, err := json.Marshal(stats); err == nil {
 			s.send(c, c.metrics, appendMsg(nil, msgClientStats, payload), &c.metricsSent, &c.metricsDropped)

@@ -4,7 +4,11 @@
 // operator control plane (pause/resume, rate override, channel-plan swap,
 // frame-capture start/stop) on the same wire.
 //
-// # Protocol (version 1)
+// # Protocol (version 2)
+//
+// Version 2 is version 1 plus the 0x17 obs message: a per-epoch metrics
+// dump from the server's observability registry (internal/obs), sent to
+// metrics subscribers of servers running with observability enabled.
 //
 // Both directions open with a 12-byte prelude and then exchange CRC-framed
 // messages, reusing the chunk idiom of internal/trace:
@@ -40,6 +44,9 @@
 //	                    — as the stream's final message in place of a bye —
 //	                    the failure a stopping server is returning
 //	0x16 bye          — empty; the server is shutting down cleanly
+//	0x17 obs          — JSON []obs.MetricSnapshot: the server's
+//	                    observability registry dump, once per served epoch;
+//	                    only sent by servers with Config.Metrics set
 //
 // Control messages are fire-and-forget: they are queued and applied by the
 // epoch loop at the next epoch boundary, so they serialize with serving and
@@ -64,7 +71,7 @@ import (
 )
 
 // Version is the wire protocol version this package speaks.
-const Version = 1
+const Version = 2
 
 // wireMagic opens every protocol stream (and every capture file).
 const wireMagic = "SAIYWIR\x00"
@@ -89,6 +96,7 @@ const (
 	msgClientStats = 0x14
 	msgError       = 0x15
 	msgBye         = 0x16
+	msgObs         = 0x17
 )
 
 // Subscription bits carried by msgSubscribe.

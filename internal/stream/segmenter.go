@@ -20,6 +20,7 @@ import (
 	"saiyan/internal/core"
 	"saiyan/internal/dsp"
 	"saiyan/internal/lora"
+	"saiyan/internal/obs"
 )
 
 // Config assembles a stream segmenter.
@@ -42,6 +43,12 @@ type Config struct {
 
 	// Seed drives the hunt demodulator's calibration noise.
 	Seed uint64
+
+	// Metrics, when non-nil, receives the segmenter's observability
+	// counters: carrier-sense scans, windows emitted and rejected, and
+	// cross-chunk pending carries. Write-only; segmentation decisions
+	// never read them back.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills zero fields and validates.
@@ -95,6 +102,13 @@ type Segmenter struct {
 
 	windows int // frames emitted so far
 	samples int64
+
+	// Observability counters (nil-safe handles; nil when Config.Metrics is
+	// unset). The segmenter is single-goroutine, so plain counters suffice.
+	scans    *obs.Counter // carrier-sense hunt scans
+	emitted  *obs.Counter // windows handed to emit
+	rejected *obs.Counter // carrier sensed but no preamble locked
+	carries  *obs.Counter // chunk deliveries arriving with a frame pending
 }
 
 // NewSegmenter builds and calibrates the hunt demodulator.
@@ -131,6 +145,10 @@ func NewSegmenter(cfg Config, emit func(Window) error) (*Segmenter, error) {
 	// the window's leading stride, plus margin for the detector's periodic
 	// peak run.
 	s.huntLen = s.preambLen + int(math.Ceil(6*s.spb))
+	s.scans = cfg.Metrics.Counter("saiyan_stream_scans_total", "carrier-sense scans over the hunt window")
+	s.emitted = cfg.Metrics.Counter("saiyan_stream_windows_emitted_total", "frame windows extracted and emitted")
+	s.rejected = cfg.Metrics.Counter("saiyan_stream_windows_rejected_total", "hunt windows with carrier but no preamble lock")
+	s.carries = cfg.Metrics.Counter("saiyan_stream_carries_total", "chunk deliveries that arrived with a frame pending across the boundary")
 	return s, nil
 }
 
@@ -150,6 +168,9 @@ func (s *Segmenter) SamplesIn() int64 { return s.samples }
 // scans as far as the buffered samples allow. Frames straddling the chunk
 // boundary stay pending until the rest arrives.
 func (s *Segmenter) Push(env, envC []float64) error {
+	if s.pending >= 0 {
+		s.carries.Inc()
+	}
 	s.buf = append(s.buf, env...)
 	s.bufC = append(s.bufC, envC...)
 	s.samples += int64(len(env))
@@ -195,6 +216,7 @@ func (s *Segmenter) extract(start int) error {
 	}
 	s.windows++
 	s.pending = -1
+	s.emitted.Inc()
 	if err := s.emit(w); err != nil {
 		return err
 	}
@@ -235,6 +257,7 @@ func (s *Segmenter) scan(flush bool) error {
 		if hunt == 0 {
 			return nil
 		}
+		s.scans.Inc()
 		if !s.d.CarrierSense(s.buf[:hunt]) {
 			// Idle air: discard the hunt window, minus one preamble of
 			// overlap so a frame starting near the boundary stays intact.
@@ -250,6 +273,7 @@ func (s *Segmenter) scan(flush bool) error {
 		}
 		start, ok := s.d.DetectPreambleGated(s.buf[:hunt], s.gate)
 		if !ok {
+			s.rejected.Inc()
 			// Carrier but no preamble start inside the window: mid-frame
 			// energy from a missed or colliding packet. Slide forward,
 			// keeping a preamble of overlap.

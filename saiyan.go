@@ -4,6 +4,7 @@ import (
 	"context"
 	"io"
 	"math/rand/v2"
+	"net/http"
 
 	"saiyan/internal/analog"
 	"saiyan/internal/core"
@@ -14,6 +15,7 @@ import (
 	"saiyan/internal/gateway"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
+	"saiyan/internal/obs"
 	"saiyan/internal/pipeline"
 	"saiyan/internal/radio"
 	"saiyan/internal/server"
@@ -471,6 +473,9 @@ const (
 	ServerEventStats    = server.EventStats
 	ServerEventError    = server.EventError
 	ServerEventBye      = server.EventBye
+	// ServerEventObs is the per-epoch observability registry dump, sent
+	// only by servers running with ServerConfig.Metrics set.
+	ServerEventObs = server.EventObs
 )
 
 // ServerProtocolVersion is the wire protocol version this build speaks.
@@ -503,6 +508,42 @@ func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
 // ServerConfig.CaptureDir). Events decoded before a truncation are
 // returned alongside ErrServerTruncated.
 func ReadFrameCapture(path string) ([]GatewayFrameEvent, error) { return server.ReadCapture(path) }
+
+// Observability types (internal/obs). An ObsRegistry is the gateway
+// stack's dependency-free metrics substrate: atomic counters, gauges, and
+// sharded log-bucket histograms, registered by Prometheus-style name.
+// Hand one registry to PipelineConfig.Metrics, StreamConfig.Metrics,
+// GatewayConfig.Metrics, and ServerConfig.Metrics (the gateway forwards
+// to its pipelines and segmenters automatically) and every hot layer
+// reports into it. Instrumentation is write-only and never feeds control
+// decisions, so deterministic outputs stay byte-identical with metrics on
+// or off.
+type (
+	// ObsRegistry is a named-metric registry; build with NewObsRegistry.
+	// A nil registry is valid everywhere and disables instrumentation.
+	ObsRegistry = obs.Registry
+	// ObsCounter is a monotonically increasing counter handle.
+	ObsCounter = obs.Counter
+	// ObsGauge is a settable float gauge handle.
+	ObsGauge = obs.Gauge
+	// ObsHistogram is a fixed log-bucket distribution handle.
+	ObsHistogram = obs.Histogram
+	// ObsHistogramOpts shapes a histogram's bucket grid and shard count.
+	ObsHistogramOpts = obs.HistogramOpts
+	// MetricSnapshot is one series of a registry dump (ObsRegistry.Snapshot,
+	// the obs wire message, and the /snapshot endpoint's sibling).
+	MetricSnapshot = obs.MetricSnapshot
+	// ObsHandlerConfig assembles the HTTP telemetry plane.
+	ObsHandlerConfig = obs.HandlerConfig
+)
+
+// NewObsRegistry builds an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsHandler builds the HTTP telemetry mux: /metrics (Prometheus text
+// exposition 0.0.4), /healthz, /snapshot (cached JSON), and
+// /debug/pprof/*. This is what `saiyan serve -http` mounts.
+func NewObsHandler(cfg ObsHandlerConfig) http.Handler { return obs.NewHandler(cfg) }
 
 // Experiment harness types.
 type (

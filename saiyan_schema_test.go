@@ -1,7 +1,8 @@
 package saiyan_test
 
 // The wire protocol (internal/server, re-exported as saiyan.NewServer)
-// ships EpochReport, Snapshot, and StreamStats payloads as JSON. Their
+// ships EpochReport, Snapshot, StreamStats, ClientStats, and obs-dump
+// (MetricSnapshot) payloads as JSON. Their
 // field names are therefore a versioned schema, not an implementation
 // detail: this test locks the exact key set of every metrics payload and
 // proves each type survives a marshal/unmarshal round trip unchanged.
@@ -153,4 +154,34 @@ func TestFrameEventSchema(t *testing.T) {
 	})
 	var back saiyan.GatewayFrameEvent
 	roundTrip(t, ev, &back)
+}
+
+// TestClientStatsSchema pins the 0x14 client-stats payload, including the
+// slow-consumer evidence added in protocol v2 (queue high-water mark and
+// bytes written).
+func TestClientStatsSchema(t *testing.T) {
+	st := saiyan.ServerClientStats{
+		Epoch: 4, FramesSent: 32, FramesDropped: 2, MetricsSent: 8, MetricsDropped: 1,
+		QueueHWM: 7, BytesWritten: 4096,
+	}
+	wantKeys(t, st, []string{
+		"epoch", "frames_sent", "frames_dropped", "metrics_sent", "metrics_dropped",
+		"queue_hwm", "bytes_written",
+	})
+	var back saiyan.ServerClientStats
+	roundTrip(t, st, &back)
+}
+
+// TestMetricSnapshotSchema pins one series of the 0x17 obs dump (also the
+// /snapshot-adjacent registry JSON). Scalar fields are omitempty, so the
+// fixture sets every one to keep the full key set visible.
+func TestMetricSnapshotSchema(t *testing.T) {
+	m := saiyan.MetricSnapshot{
+		Name: "saiyan_pipeline_decode_seconds", Kind: "histogram",
+		Value: 1, Count: 3, Sum: 0.5,
+		Bounds: []float64{0.001, 0.002}, Counts: []uint64{1, 1, 1},
+	}
+	wantKeys(t, m, []string{"name", "kind", "value", "count", "sum", "bounds", "counts"})
+	var back saiyan.MetricSnapshot
+	roundTrip(t, m, &back)
 }
