@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench bench.txt bench-json golden fuzz fmt fmt-check vet ci
+.PHONY: build test test-short bench bench.txt bench-json golden fuzz fuzz-sweep fmt fmt-check vet lint ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,15 @@ golden:
 fuzz:
 	$(GO) test -run FuzzTraceRoundTrip -fuzz FuzzTraceRoundTrip -fuzztime 30s ./internal/trace
 
+# Scheduled CI fuzz sweep: ~5 minutes split across the four codec/datapath
+# fuzzers (go test allows one -fuzz target per invocation).
+FUZZ_TIME ?= 75s
+fuzz-sweep:
+	$(GO) test -run FuzzTraceRoundTrip -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZ_TIME) ./internal/trace
+	$(GO) test -run FuzzWireFrame -fuzz FuzzWireFrame -fuzztime $(FUZZ_TIME) ./internal/server
+	$(GO) test -run FuzzCommandRoundTrip -fuzz FuzzCommandRoundTrip -fuzztime $(FUZZ_TIME) ./internal/mac
+	$(GO) test -run FuzzFxpOps -fuzz FuzzFxpOps -fuzztime $(FUZZ_TIME) ./internal/fxp
+
 fmt:
 	gofmt -w .
 
@@ -65,4 +74,11 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test-short golden
+# saiyanvet: the repo's own analyzers (determinism, fxpsat, hotalloc,
+# obsgate, ctxfirst), run through `go vet -vettool` so results cache per
+# package like any other vet pass. Blocking in CI.
+lint:
+	$(GO) build -o bin/saiyanvet ./cmd/saiyanvet
+	$(GO) vet -vettool=$(CURDIR)/bin/saiyanvet ./...
+
+ci: build vet lint fmt-check test-short golden

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// runCompare implements the ROADMAP's perf-regression gate:
+//
+//	benchjson -compare OLD.json NEW.json [-threshold 0.10]
+//
+// Benchmarks are matched by (pkg, name, procs) and their ns/op compared;
+// a relative slowdown beyond the threshold is a regression. Exit status:
+// 0 within budget, 1 usage or I/O error, 2 at least one regression.
+// Benchmarks present on only one side are reported but never fail the
+// gate — families come and go across PRs; only measured slowdowns do.
+//
+// The flag grammar is hand-rolled so -threshold may ride before or after
+// the file arguments (CI composes the command from pieces).
+func runCompare(args []string) int {
+	threshold := 0.10
+	var files []string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-threshold" || a == "--threshold":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -threshold needs a value")
+				return 1
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad threshold %q\n", args[i])
+				return 1
+			}
+			threshold = v
+		default:
+			files = append(files, a)
+		}
+	}
+	if len(files) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json [-threshold 0.10]")
+		return 1
+	}
+	old, err := readReport(files[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	cur, err := readReport(files[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	rows, regressions := compareReports(old, cur, threshold)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %+.0f%% ns/op\n", regressions, threshold*100)
+		return 2
+	}
+	return 0
+}
+
+func readReport(name string) (*Report, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	return &rep, nil
+}
+
+// benchKey identifies a benchmark across runs.
+func benchKey(b Benchmark) string {
+	return b.Pkg + "\x00" + b.Name + "\x00" + strconv.Itoa(b.Procs)
+}
+
+// compareReports renders one line per benchmark and counts regressions.
+// Output is sorted by key so CI job summaries diff stably.
+func compareReports(old, cur *Report, threshold float64) (rows []string, regressions int) {
+	oldBy := map[string]Benchmark{}
+	for _, b := range old.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	seen := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		key := benchKey(b)
+		seen[key] = true
+		label := b.Name
+		if b.Procs > 0 {
+			label = fmt.Sprintf("%s-%d", b.Name, b.Procs)
+		}
+		prev, ok := oldBy[key]
+		if !ok {
+			rows = append(rows, fmt.Sprintf("new     %-40s %12.0f ns/op", label, b.Metrics["ns/op"]))
+			continue
+		}
+		oldNs, newNs := prev.Metrics["ns/op"], b.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			rows = append(rows, fmt.Sprintf("skip    %-40s no ns/op on one side", label))
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESS"
+			regressions++
+		}
+		rows = append(rows, fmt.Sprintf("%-7s %-40s %12.0f -> %12.0f ns/op  %+6.1f%%", verdict, label, oldNs, newNs, delta*100))
+	}
+	for key, b := range oldBy {
+		if seen[key] {
+			continue
+		}
+		label := b.Name
+		if b.Procs > 0 {
+			label = fmt.Sprintf("%s-%d", b.Name, b.Procs)
+		}
+		rows = append(rows, fmt.Sprintf("gone    %-40s %12.0f ns/op", label, b.Metrics["ns/op"]))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i][8:] < rows[j][8:] })
+	return rows, regressions
+}

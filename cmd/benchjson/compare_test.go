@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkReport(t *testing.T, dir, name string, benches ...Benchmark) string {
+	t.Helper()
+	rep := Report{Benchmarks: benches}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, procs int, ns float64) Benchmark {
+	return Benchmark{Name: name, Pkg: "saiyan/internal/pipeline", Procs: procs,
+		Iterations: 10, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestCompareReportsVerdicts(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkPipeline", 8, 1000),
+		bench("BenchmarkStream", 8, 1000),
+		bench("BenchmarkGone", 8, 500),
+	}}
+	cur := &Report{Benchmarks: []Benchmark{
+		bench("BenchmarkPipeline", 8, 1050), // +5%: within a 10% budget
+		bench("BenchmarkStream", 8, 1200),   // +20%: regression
+		bench("BenchmarkNew", 8, 100),
+	}}
+	rows, regressions := compareReports(old, cur, 0.10)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", regressions, strings.Join(rows, "\n"))
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{
+		"REGRESS BenchmarkStream-8",
+		"ok      BenchmarkPipeline-8",
+		"new     BenchmarkNew-8",
+		"gone    BenchmarkGone-8",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareReportsMatchesProcs(t *testing.T) {
+	// The same name at a different GOMAXPROCS is a different benchmark,
+	// not a regression candidate.
+	old := &Report{Benchmarks: []Benchmark{bench("BenchmarkPipeline", 4, 1000)}}
+	cur := &Report{Benchmarks: []Benchmark{bench("BenchmarkPipeline", 8, 5000)}}
+	_, regressions := compareReports(old, cur, 0.10)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d across different procs, want 0", regressions)
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := mkReport(t, dir, "old.json", bench("BenchmarkPipeline", 8, 1000))
+	okPath := mkReport(t, dir, "ok.json", bench("BenchmarkPipeline", 8, 1040))
+	badPath := mkReport(t, dir, "bad.json", bench("BenchmarkPipeline", 8, 1500))
+
+	if code := runCompare([]string{oldPath, okPath}); code != 0 {
+		t.Errorf("within-budget compare exited %d, want 0", code)
+	}
+	if code := runCompare([]string{oldPath, badPath}); code != 2 {
+		t.Errorf("regressed compare exited %d, want 2", code)
+	}
+	// Threshold may ride after the files (CI composes the command).
+	if code := runCompare([]string{oldPath, badPath, "-threshold", "0.60"}); code != 0 {
+		t.Errorf("compare with loose trailing threshold exited %d, want 0", code)
+	}
+	if code := runCompare([]string{oldPath}); code != 1 {
+		t.Errorf("missing file arg exited %d, want 1", code)
+	}
+	if code := runCompare([]string{oldPath, badPath, "-threshold", "nope"}); code != 1 {
+		t.Errorf("bad threshold exited %d, want 1", code)
+	}
+	if code := runCompare([]string{filepath.Join(dir, "absent.json"), okPath}); code != 1 {
+		t.Errorf("unreadable file exited %d, want 1", code)
+	}
+}

@@ -14,6 +14,14 @@
 // lands in "custom", so downstream tooling can trend the paper-specific
 // figures without knowing every unit in advance. The -N GOMAXPROCS suffix
 // is split off the name into "procs".
+//
+// With -compare the command becomes the perf-regression gate instead:
+//
+//	go run ./cmd/benchjson -compare OLD.json NEW.json -threshold 0.10
+//
+// compares two archived reports benchmark-by-benchmark and exits with
+// status 2 when any ns/op slowed down by more than the threshold (CI
+// downloads the previous run's artifact as OLD.json).
 package main
 
 import (
@@ -53,6 +61,9 @@ type Report struct {
 }
 
 func main() {
+	if args := os.Args[1:]; len(args) > 0 && (args[0] == "-compare" || args[0] == "--compare") {
+		os.Exit(runCompare(args[1:]))
+	}
 	rep := Report{Benchmarks: []Benchmark{}}
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)

@@ -1,0 +1,209 @@
+// Command saiyanvet runs the repo's custom static analyzers (package
+// internal/lint): determinism, fxpsat, hotalloc, obsgate, ctxfirst. It
+// speaks two dialects:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/saiyanvet ./...
+//
+// As a vet tool, driven by the go command (this is what `make lint`
+// does — it reuses go vet's per-package caching and export-data
+// plumbing):
+//
+//	go build -o bin/saiyanvet ./cmd/saiyanvet
+//	go vet -vettool=$(pwd)/bin/saiyanvet ./...
+//
+// Exit status: 0 clean, 1 internal error, 2 diagnostics reported.
+// Diagnostics print to stderr as file:line:col: message (analyzer).
+//
+// The vettool protocol (answering -V=full with a content-derived
+// version, -flags with a JSON flag inventory, and accepting a vet.cfg
+// path) is the contract cmd/go's unitchecker uses; implementing it here
+// keeps the tool free of golang.org/x/tools so it builds offline.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"saiyan/internal/lint"
+)
+
+func main() {
+	// cmd/go probes the tool before first use; both probes must answer
+	// before normal flag parsing (the -V flag carries a value, and -flags
+	// must dump JSON, not usage text).
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			fmt.Printf("saiyanvet version v0.1.0-%s\n", selfID())
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags; the suite always runs whole.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: saiyanvet [-list] [packages]\n       (as vet tool) go vet -vettool=saiyanvet [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetTool(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// selfID hashes the tool's own binary so the go command's vet cache keys
+// change whenever the analyzers do. A stable fake version would make
+// stale results stick across rebuilds.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+func runStandalone(patterns []string) int {
+	diags, err := lint.Analyze(".", lint.All(), patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saiyanvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON the go command writes to <objdir>/vet.cfg
+// when driving a -vettool (see cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saiyanvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "saiyanvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The go command expects a facts file for dependents even though this
+	// suite exchanges none; write it before any early return.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "saiyanvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for its (empty) facts.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFail(&cfg, err)
+		}
+		files = append(files, f)
+	}
+
+	imp := lint.ExportImporter(fset, func(path string) (string, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return f, nil
+	})
+	tpkg, info, err := lint.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		return typecheckFail(&cfg, err)
+	}
+
+	diags, err := lint.RunAnalyzers(fset, files, tpkg, info, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saiyanvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, lint.FormatDiagnostic(fset, d))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckFail honors SucceedOnTypecheckFailure, which the go command
+// sets when the compiler itself will report the error more usefully.
+func typecheckFail(cfg *vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "saiyanvet: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}

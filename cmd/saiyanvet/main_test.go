@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles saiyanvet into a temp dir and returns the binary
+// path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "saiyanvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building saiyanvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolProtocol drives the binary the way cmd/go does: the -V=full
+// version probe, the -flags inventory, and a full `go vet -vettool` run
+// over clean in-tree packages.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildTool(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(string(out))
+	// cmd/go's tool-ID contract: >= 3 fields, f[1] == "version", and a
+	// version that is not "devel" (it becomes part of the cache key).
+	if len(f) < 3 || f[1] != "version" || f[2] == "devel" {
+		t.Fatalf("-V=full output %q does not satisfy the go tool-ID contract", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags = %q, want []", out)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/fxp", "./internal/obs")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over clean packages: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolFindsViolations runs the vettool against a scratch module
+// holding a known determinism violation and expects a nonzero exit with
+// the diagnostic on stderr — the full unitchecker path, not the
+// standalone loader.
+func TestVettoolFindsViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildTool(t)
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratchmod\n\ngo 1.21\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "pipeline")
+	if err := os.Mkdir(pkg, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	src := `package pipeline
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`
+	if err := os.WriteFile(filepath.Join(pkg, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./pipeline")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet succeeded over a package with an ungated time.Now; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "time.Now outside the metrics nil-gate") {
+		t.Fatalf("missing determinism diagnostic in vet output:\n%s", stderr.String())
+	}
+}

@@ -237,6 +237,18 @@
 // converted to microwatts by MCUBudget for comparison against the Table 2
 // MCU entry. See examples/fxp and BenchmarkFxp*.
 //
+// # Tooling
+//
+// The properties the sections above promise — snapshot determinism at any
+// worker count, zero allocations on the frame path with metrics on, and
+// the integer-only Q1.15 discipline — are enforced mechanically by
+// cmd/saiyanvet, a custom static-analysis suite (package internal/lint)
+// that runs blocking in CI and locally via `make lint` or
+// `go vet -vettool`. Hot functions are annotated //saiyan:hotpath;
+// deliberate exceptions carry //lint:allow <analyzer> <reason>. The
+// companion cmd/benchjson archives benchmark runs as JSON and, with
+// -compare, gates CI on ns/op regressions against the previous run.
+//
 // # Trace format and compatibility
 //
 // Traces are format version 1 (internal/trace has the byte-level

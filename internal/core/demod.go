@@ -219,11 +219,13 @@ func (d *Demodulator) symbolWindow(s, decim, n int) (int, int) {
 // last-high sample matters because for early-peaking symbols the envelope
 // ramps back up toward the *next* symbol's peak and re-crosses U_H before
 // the window closes.
+//
+//saiyan:hotpath
 func (d *Demodulator) decodeByPeakTracking(env []float64, nSymbols int) []int {
 	p := d.cfg.Params
 	d.scratchBit = d.comparator.Quantize(d.scratchBit, env)
 	bits := d.scratchBit
-	out := make([]int, nSymbols)
+	out := make([]int, nSymbols) //lint:allow hotalloc the returned symbol slice is the function's contract
 
 	// Symbol boundaries are delicate: a chirp that peaks exactly at its
 	// window end (position ~0) produces its falling edge within a sample
@@ -238,13 +240,19 @@ func (d *Demodulator) decodeByPeakTracking(env []float64, nSymbols int) []int {
 	startMargin := 2
 	endMargin := 2
 
-	type edgeInfo struct {
-		frac float64
-		ok   bool
+	// Edge bookkeeping lives in receiver scratch: writes below are sparse,
+	// so the reused buffers must be cleared, not just resliced.
+	if cap(d.scratchOwn) < nSymbols {
+		d.scratchOwn = make([]edgeInfo, nSymbols) //lint:allow hotalloc amortized: runs only on scratch growth
+		d.scratchBnd = make([]bool, nSymbols)     //lint:allow hotalloc amortized: runs only on scratch growth
+		d.scratchEnd = make([]bool, nSymbols)     //lint:allow hotalloc amortized: runs only on scratch growth
 	}
-	own := make([]edgeInfo, nSymbols)
-	boundary := make([]bool, nSymbols)
-	highAtEnd := make([]bool, nSymbols)
+	own := d.scratchOwn[:nSymbols]
+	boundary := d.scratchBnd[:nSymbols]
+	highAtEnd := d.scratchEnd[:nSymbols]
+	clear(own)
+	clear(boundary)
+	clear(highAtEnd)
 
 	for s := 0; s < nSymbols; s++ {
 		lo, hi := d.symbolWindow(s, d.cfg.Oversample, len(bits))
@@ -315,6 +323,8 @@ func (d *Demodulator) decodeByCorrelation(env []float64, nSymbols int) []int {
 // exactly, so the scores — and therefore the decode — are bit-identical.
 // Truncated edge windows (shorter than the template) fall back to the
 // exact two-pass computation.
+//
+//saiyan:hotpath
 func (d *Demodulator) bestTemplate(win []float64) int {
 	best, bestScore := 0, math.Inf(-1)
 	if d.tmplStats != nil && len(win) >= len(d.templates[0]) {

@@ -59,6 +59,16 @@ type Demodulator struct {
 	scratchEnv []float64
 	scratchBuf []float64
 	scratchBit []bool
+	scratchOwn []edgeInfo
+	scratchBnd []bool
+	scratchEnd []bool
+}
+
+// edgeInfo records a symbol window's own mid-window falling edge for the
+// peak-tracking decoder's two-pass bookkeeping.
+type edgeInfo struct {
+	frac float64
+	ok   bool
 }
 
 // New builds a demodulator from cfg, applying defaults and validating.

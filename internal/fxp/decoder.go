@@ -63,6 +63,16 @@ type Decoder struct {
 	ops        OpCounts
 	scratchQ   []Q15
 	scratchBit []bool
+	scratchOwn []edgeInfo
+	scratchBnd []bool
+	scratchEnd []bool
+}
+
+// edgeInfo records a symbol window's own mid-window falling edge for the
+// peak-tracking decoder's two-pass bookkeeping.
+type edgeInfo struct {
+	edge, n int
+	ok      bool
 }
 
 // NewDecoder validates cfg and returns an uncalibrated decoder.
@@ -209,10 +219,12 @@ func roundDiv(a, b int64) int64 {
 // window's last falling edge to a chirp position. The edge bookkeeping (own
 // mid-window edges first, boundary-region edges only for symbols without
 // one) mirrors the float decoder exactly; only the arithmetic changed.
+//
+//saiyan:hotpath
 func (x *Decoder) DecodePeakTracking(env []Q15, nSymbols int) []int {
 	// Integer hysteresis comparator (Eq. (3) on codes).
 	if cap(x.scratchBit) < len(env) {
-		x.scratchBit = make([]bool, len(env))
+		x.scratchBit = make([]bool, len(env)) //lint:allow hotalloc amortized: runs only on scratch growth
 	}
 	bits := x.scratchBit[:len(env)]
 	state := false
@@ -227,16 +239,22 @@ func (x *Decoder) DecodePeakTracking(env []Q15, nSymbols int) []int {
 	x.ops.Load += uint64(len(env))
 	x.ops.Cmp += uint64(len(env))
 
-	out := make([]int, nSymbols)
+	out := make([]int, nSymbols) //lint:allow hotalloc the returned symbol slice is the function's contract
 	const startMargin, endMargin = 2, 2
 
-	type edgeInfo struct {
-		edge, n int
-		ok      bool
+	// Edge bookkeeping lives in receiver scratch: writes below are sparse,
+	// so the reused buffers must be cleared, not just resliced.
+	if cap(x.scratchOwn) < nSymbols {
+		x.scratchOwn = make([]edgeInfo, nSymbols) //lint:allow hotalloc amortized: runs only on scratch growth
+		x.scratchBnd = make([]bool, nSymbols)     //lint:allow hotalloc amortized: runs only on scratch growth
+		x.scratchEnd = make([]bool, nSymbols)     //lint:allow hotalloc amortized: runs only on scratch growth
 	}
-	own := make([]edgeInfo, nSymbols)
-	boundary := make([]bool, nSymbols)
-	highAtEnd := make([]bool, nSymbols)
+	own := x.scratchOwn[:nSymbols]
+	boundary := x.scratchBnd[:nSymbols]
+	highAtEnd := x.scratchEnd[:nSymbols]
+	clear(own)
+	clear(boundary)
+	clear(highAtEnd)
 
 	for s := 0; s < nSymbols; s++ {
 		lo, hi := x.window(s, x.cfg.SamplerDecim, len(bits))
@@ -293,8 +311,10 @@ func (x *Decoder) DecodePeakTracking(env []Q15, nSymbols int) []int {
 // division-free: RatioCmp cross-multiplies D against the opponent's
 // precomputed isqrt(Et) with a widening 64x128 product. Truncated edge
 // windows rebuild Σt/Σt² from prefix sums and pay one integer square root.
+//
+//saiyan:hotpath
 func (x *Decoder) DecodeCorrelation(env []Q15, nSymbols int) []int {
-	out := make([]int, nSymbols)
+	out := make([]int, nSymbols) //lint:allow hotalloc the returned symbol slice is the function's contract
 	if x.bank == nil {
 		return out
 	}

@@ -119,7 +119,10 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 	if len(plan.groups) == 0 {
 		return nil
 	}
-	renderStart := time.Now()
+	var renderStart time.Time
+	if g.met != nil {
+		renderStart = time.Now()
+	}
 	for _, grp := range plan.groups {
 		demod := g.cfg.Demod
 		demod.Params = g.params(grp.k)
@@ -146,7 +149,10 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 
 	// One worker pool per rate: groups sharing a K share PHY parameters and
 	// therefore a pipeline, whatever channel they arrived on.
-	decodeStart := time.Now()
+	var decodeStart time.Time
+	if g.met != nil {
+		decodeStart = time.Now()
+	}
 	for lo := 0; lo < len(plan.groups); {
 		hi := lo
 		for hi < len(plan.groups) && plan.groups[hi].k == plan.groups[lo].k {

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst pins the PR 6 convention: an exported API that accepts a
+// context.Context takes it as the first parameter. A context buried
+// mid-signature reads as optional; first position makes cancellation the
+// caller's first obligation and keeps call sites grep-able.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported APIs taking a context.Context take it first",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) error {
+	for _, f := range p.Files {
+		if p.isTestFile(f.FileStart) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || fn.Type.Params == nil {
+				continue
+			}
+			p.checkCtxPosition(fn)
+		}
+	}
+	return nil
+}
+
+func (p *Pass) checkCtxPosition(fn *ast.FuncDecl) {
+	// Walk the flattened parameter list: a field like (a, b int) counts
+	// as two positions.
+	pos := 0
+	for _, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(p.typeOf(field.Type)) && pos > 0 {
+			p.Reportf(field.Pos(),
+				"%s takes context.Context at parameter %d: exported APIs take ctx first", fn.Name.Name, pos+1)
+			return
+		}
+		pos += n
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

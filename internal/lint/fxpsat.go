@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FxpSat enforces the Q1.15 arithmetic discipline inside internal/fxp,
+// the model of the paper's 19.6 µW MCU datapath (Saiyan §4.3):
+//
+//   - Raw +, -, *, / on 16-bit values is flagged: int16 arithmetic
+//     wraps silently in Go, while the MCU's DSP instructions saturate.
+//     Every operation must widen to int32/int64 first and clamp through
+//     the Sat*/Mul/MAC primitives on the way back down.
+//   - float64 leakage into the integer datapath is flagged: conversions
+//     between floating-point values and 16-bit lanes are legal only at
+//     the ADC boundary (methods on the ADC type), which is where the
+//     paper's analog front-end hands off to the MCU.
+//
+// The primitives themselves (names starting with "Sat", plus Mul and
+// MAC) are exempt from the arithmetic rule — they are the clamp.
+var FxpSat = &Analyzer{
+	Name: "fxpsat",
+	Doc:  "flags raw int16 arithmetic and float leakage in the fixed-point MCU datapath",
+	Run:  runFxpSat,
+}
+
+func runFxpSat(p *Pass) error {
+	path := p.Pkg.Path()
+	if path[strings.LastIndexByte(path, '/')+1:] != "fxp" {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.isTestFile(f.FileStart) {
+			continue
+		}
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				p.checkQ15Arith(n, stack)
+			case *ast.CallExpr:
+				p.checkFloatBoundary(n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// is16Bit reports whether t is a 16-bit integer lane (Q15, int16, or any
+// named type over them). Widened int32/int64 intermediates are the
+// sanctioned representation and return false.
+func is16Bit(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Int16 || b.Kind() == types.Uint16)
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// inSatPrimitive reports whether the stack is inside one of the
+// saturating primitives, which legitimately build the clamp out of raw
+// comparisons and widened arithmetic.
+func inSatPrimitive(stack []ast.Node) bool {
+	fd := enclosingFuncDecl(stack)
+	if fd == nil {
+		return false
+	}
+	name := fd.Name.Name
+	return strings.HasPrefix(name, "Sat") || name == "Mul" || name == "MAC"
+}
+
+// inADCMethod reports whether the stack is inside a method whose receiver
+// is the ADC type — the one sanctioned float<->integer crossing.
+func inADCMethod(stack []ast.Node) bool {
+	fd := enclosingFuncDecl(stack)
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id := identOf(t)
+	return id != nil && id.Name == "ADC"
+}
+
+// checkQ15Arith flags raw +,-,*,/ where either operand lives in a 16-bit
+// lane.
+func (p *Pass) checkQ15Arith(bin *ast.BinaryExpr, stack []ast.Node) {
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return
+	}
+	if !is16Bit(p.typeOf(bin.X)) && !is16Bit(p.typeOf(bin.Y)) {
+		return
+	}
+	if inSatPrimitive(stack) {
+		return
+	}
+	p.Reportf(bin.Pos(),
+		"raw %s on a 16-bit Q1.15 lane wraps instead of saturating: widen to int32 and clamp through SatAdd/SatSub/Mul/MAC", bin.Op)
+}
+
+// checkFloatBoundary flags float<->16-bit conversions outside ADC
+// methods. A conversion is a call whose Fun is a type.
+func (p *Pass) checkFloatBoundary(call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := tv.Type
+	src := p.typeOf(call.Args[0])
+	crossing := (isFloat(dst) && is16Bit(src)) || (is16Bit(dst) && isFloat(src))
+	if !crossing {
+		return
+	}
+	if inADCMethod(stack) {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"float<->Q1.15 conversion outside the ADC boundary: the MCU datapath is integer-only; quantize through ADC.Code / reconstruct through ADC.Value")
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") in dir, parses the matched
+// packages, and type-checks them from source with every dependency —
+// stdlib included — imported from gc export data. `go list -export`
+// compiles the export data into the build cache, so the loader needs no
+// network, no GOPATH layout, and no golang.org/x/tools: the standard
+// library's importer does the heavy lifting.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && len(e.GoFiles) > 0 {
+			targets = append(targets, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, error) {
+		f, ok := exports[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return f, nil
+	})
+
+	var pkgs []*Package
+	for _, e := range targets {
+		var files []*ast.File
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tp, info, err := TypeCheck(fset, e.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", e.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  e.ImportPath,
+			Dir:   e.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tp,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// ExportImporter builds a types.Importer that reads gc export data,
+// resolving each import path to an export file via resolve. It backs both
+// the standalone loader (export paths from `go list -export`) and the
+// vettool mode (paths from the vet.cfg PackageFile map).
+func ExportImporter(fset *token.FileSet, resolve func(path string) (string, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := resolve(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+}
+
+// TypeCheck runs the type checker over one package's parsed files,
+// returning the package and a fully populated types.Info.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tp, info, nil
+}
+
+// Analyze loads patterns in dir and runs the full analyzer suite,
+// returning every surviving diagnostic formatted as
+// "path/file.go:line:col: message (analyzer)" alongside the raw list.
+func Analyze(dir string, as []*Analyzer, patterns ...string) ([]string, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, as)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range diags {
+			out = append(out, FormatDiagnostic(pkg.Fset, d))
+		}
+	}
+	return out, nil
+}
+
+// FormatDiagnostic renders one finding the way `go vet` does, with the
+// analyzer name appended.
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	name := pos.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsReadMethods are the internal/obs APIs that read metric state. The
+// hot layers feed metrics; only the telemetry plane (serve, obs itself)
+// reads them back — a read on the frame path implies a merge across
+// histogram shards or a registry lock.
+var obsReadMethods = map[string]bool{
+	"Value":           true,
+	"Count":           true,
+	"Sum":             true,
+	"Mean":            true,
+	"Snapshot":        true,
+	"WritePrometheus": true,
+}
+
+// obsRegisterFuncs are the get-or-create and constructor entry points;
+// each takes the registry lock and may allocate, so they belong in
+// constructors, never inside //saiyan:hotpath bodies.
+var obsRegisterFuncs = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"NewHistogram": true,
+	"NewRegistry":  true,
+	"NewHandler":   true,
+}
+
+// ObsGate keeps instrumentation one-directional: hot-layer packages (the
+// snapshot set) may only write to internal/obs handles, and hotpath
+// functions may not register or construct metrics per call. Together with
+// the nil-safe handle design (a nil *Counter/*Gauge/*Histogram is a
+// no-op) this is what lets the same binary run fully instrumented or
+// fully dark with identical outputs.
+var ObsGate = &Analyzer{
+	Name: "obsgate",
+	Doc:  "keeps internal/obs write-only from hot layers and registration out of hotpath functions",
+	Run:  runObsGate,
+}
+
+func runObsGate(p *Pass) error {
+	hotLayer := inSnapshotPackage(p)
+	for _, f := range p.Files {
+		if p.isTestFile(f.FileStart) {
+			continue
+		}
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !isObsPkg(fn.Pkg()) {
+				return true
+			}
+			name := fn.Name()
+			if hotLayer && obsReadMethods[name] {
+				p.Reportf(call.Pos(),
+					"obs.%s reads metric state from a hot-layer package: instrumentation is write-only here; reads belong to the telemetry plane", name)
+				return true
+			}
+			fd := enclosingFuncDecl(stack)
+			if fd != nil && HasDirective(fd, "hotpath") && obsRegisterFuncs[name] {
+				p.Reportf(call.Pos(),
+					"obs.%s registers/constructs a metric inside a hotpath function: it locks the registry per call; resolve handles once in the constructor", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsPkg reports whether pkg is the observability package (matched by
+// import-path suffix so testdata fixtures qualify too).
+func isObsPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}

@@ -1,0 +1,21 @@
+// Package api is a ctxfirst fixture.
+package api
+
+import "context"
+
+type Client struct{}
+
+func Do(ctx context.Context, id int) error { return nil }
+
+func DoLate(id int, ctx context.Context) error { return nil } // want `DoLate takes context.Context at parameter 2`
+
+func (c *Client) Fetch(ctx context.Context, key string) {}
+
+func (c *Client) FetchLate(key string, ctx context.Context) {} // want `FetchLate takes context.Context at parameter 2`
+
+func helperLate(id int, ctx context.Context) {} // unexported: caller-local plumbing
+
+//lint:allow ctxfirst wire-compat: the frame header must stay the first argument
+func Legacy(id int, ctx context.Context) {}
+
+func NoCtx(a, b int) {}

@@ -1,0 +1,112 @@
+// Package pipeline is a determinism-analyzer fixture; its import path
+// ends in "pipeline", putting it in the snapshot-affecting set.
+package pipeline
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type metrics struct{ on bool }
+
+type P struct {
+	met metrics
+	obs *int
+}
+
+func (p *P) ungated() int64 {
+	return time.Now().UnixNano() // want `time.Now outside the metrics nil-gate`
+}
+
+func (p *P) ungatedSince(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since outside the metrics nil-gate`
+}
+
+func (p *P) gated() (d time.Duration) {
+	var start time.Time
+	if p.met.on {
+		start = time.Now()
+	}
+	if p.met.on {
+		d = time.Since(start)
+	}
+	return d
+}
+
+func (p *P) nilGated() {
+	if p.obs != nil {
+		_ = time.Now()
+	}
+}
+
+//lint:allow determinism elapsed is a documented wall-clock report field
+func (p *P) wallClock() time.Time {
+	return time.Now()
+}
+
+func (p *P) lineAllow() time.Time {
+	return time.Now() //lint:allow determinism elapsed is documented wall-clock
+}
+
+func draw() int {
+	return rand.Intn(8) // want `global math/rand draw`
+}
+
+func seeded(r *rand.Rand) int {
+	return r.Intn(8)
+}
+
+func construct() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func mapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order can escape this loop`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func histogram(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func prune(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func fold(a, b <-chan int) int {
+	select { // want `select races 2 result channels`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func cancelable(ctx context.Context, a <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}

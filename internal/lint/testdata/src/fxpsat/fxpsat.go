@@ -1,0 +1,73 @@
+// Package fxp is an fxpsat fixture; its import path ends in "fxp", so
+// the Q1.15 discipline applies.
+package fxp
+
+// Q15 mirrors the real datapath's 16-bit fixed-point lane.
+type Q15 int16
+
+// MaxQ15 is the saturation ceiling.
+const MaxQ15 = Q15(32767)
+
+// SatAdd is a sanctioned primitive: raw widened arithmetic is the clamp.
+func SatAdd(a, b Q15) Q15 {
+	s := int32(a) + int32(b)
+	if s > 32767 {
+		return MaxQ15
+	}
+	if s < -32768 {
+		return -32768
+	}
+	return Q15(s)
+}
+
+// Mul is likewise exempt by name.
+func Mul(a, b Q15) Q15 {
+	return Q15((int32(a)*int32(b) + 1<<14) >> 15)
+}
+
+func rawAdd(a, b Q15) Q15 {
+	return a + b // want `raw \+ on a 16-bit Q1.15 lane`
+}
+
+func rawMul(a, b int16) int16 {
+	return a * b // want `raw \* on a 16-bit Q1.15 lane`
+}
+
+func rawDiv(a, b Q15) Q15 {
+	return a / b // want `raw / on a 16-bit Q1.15 lane`
+}
+
+func widened(a, b Q15) int32 {
+	return int32(a) * int32(b)
+}
+
+func shifted(a Q15) Q15 {
+	return a >> 1 // shifts are exact on the lane, not flagged
+}
+
+// ADC is the sanctioned float<->integer boundary.
+type ADC struct{ Bits int }
+
+// Code quantizes a float sample; conversions inside ADC methods are the
+// boundary itself.
+func (a ADC) Code(v float64) Q15 {
+	return Q15(v * 32767)
+}
+
+// Value reconstructs a float sample.
+func (a ADC) Value(c Q15) float64 {
+	return float64(c) / 32767
+}
+
+func leak(q Q15) float64 {
+	return float64(q) // want `float<->Q1.15 conversion outside the ADC boundary`
+}
+
+func leakIn(v float64) int16 {
+	return int16(v) // want `float<->Q1.15 conversion outside the ADC boundary`
+}
+
+//lint:allow fxpsat reference implementation compared against the integer path in tests
+func floatReference(q Q15) float64 {
+	return float64(q)
+}

@@ -1,0 +1,7 @@
+// Package other is a clean fixture: identical int16 arithmetic outside
+// an fxp package must not trip the fxpsat analyzer.
+package other
+
+func RawAdd(a, b int16) int16 { return a + b }
+
+func Leak(a int16) float64 { return float64(a) }

@@ -1,0 +1,54 @@
+// Package hot is a hotalloc fixture: only //saiyan:hotpath-annotated
+// functions are audited.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type state struct {
+	buf []int
+	n   int
+}
+
+func sink(v any)      {}
+func sinkPtr(v any)   {}
+func sinkErr(_ error) {}
+
+//saiyan:hotpath
+func perFrame(s *state, n int) {
+	s.buf = make([]int, n) // want `make in a hotpath function allocates per call`
+	p := new(state)        // want `new in a hotpath function allocates per call`
+	_ = p
+	q := &state{n: n} // want `&composite literal escapes to the heap`
+	_ = q
+	_ = fmt.Sprintf("%d", n) // want `fmt.Sprintf allocates its result`
+	err := errors.New("bad") // want `errors.New allocates its result`
+	_ = err
+	f := func() int { return n } // want `function literal in a hotpath function`
+	_ = f
+	sink(n) // want `boxes a concrete int into an interface parameter`
+}
+
+//saiyan:hotpath
+func allowedContract(n int) []int {
+	out := make([]int, n) //lint:allow hotalloc returned slice is the function's contract
+	return out
+}
+
+func cold(n int) []int {
+	// Unannotated functions allocate freely.
+	_ = fmt.Sprintf("%d", n)
+	return make([]int, n)
+}
+
+//saiyan:hotpath
+func cleanHot(s *state, n int) {
+	for i := range s.buf {
+		s.buf[i] = n
+	}
+	sinkPtr(s) // pointer-shaped values ride the interface word: no box
+	var err error
+	sinkErr(err) // interface-to-interface: no box
+}

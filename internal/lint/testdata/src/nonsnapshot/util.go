@@ -1,0 +1,21 @@
+// Package util is a clean fixture: its import path is outside the
+// snapshot-affecting set, so the determinism analyzer must stay silent
+// even over wall-clock and map-range code.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Jitter() int { return rand.Intn(10) }
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

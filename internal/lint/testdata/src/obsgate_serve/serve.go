@@ -1,0 +1,14 @@
+// Package server is a clean fixture: the telemetry plane is not a
+// hot-layer package, so reading metric state is its job.
+package server
+
+import "saiyan/internal/obs"
+
+func Dump(r *obs.Registry) int {
+	total := 0
+	for _, m := range r.Snapshot() {
+		_ = m
+		total++
+	}
+	return total
+}

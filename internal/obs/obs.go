@@ -192,6 +192,8 @@ func (h *Histogram) Observe(v float64) { h.ObserveShard(0, v) }
 
 // ObserveShard records v on the given write shard. Shard indices wrap, so
 // a worker index is always a valid shard. Zero-alloc.
+//
+//saiyan:hotpath
 func (h *Histogram) ObserveShard(shard int, v float64) {
 	if h == nil {
 		return

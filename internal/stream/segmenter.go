@@ -227,6 +227,8 @@ func (s *Segmenter) extract(start int) error {
 // scan is the hunt loop: carrier-sense gate over the leading hunt window,
 // preamble detection when the gate opens, then window extraction once the
 // full frame is buffered.
+//
+//saiyan:hotpath
 func (s *Segmenter) scan(flush bool) error {
 	for {
 		if s.pending >= 0 {
