@@ -21,7 +21,7 @@ bench:
 # One pattern rule cuts every benchmark family's artifact from the same
 # bench.txt: BENCH_pipeline.json carries the full run, the named families
 # filter by benchmark name prefix. Adding a family is one variable line.
-BENCH_FAMILIES        = pipeline stream gateway fxp
+BENCH_FAMILIES        = pipeline stream gateway fxp flight
 BENCH_FILTER_pipeline = Benchmark
 BENCH_FILTER_stream   = BenchmarkStream
 BENCH_FILTER_gateway  = BenchmarkGateway
@@ -29,6 +29,10 @@ BENCH_FILTER_gateway  = BenchmarkGateway
 # comparison: the BenchmarkFxpPipeline* variants run the integer MCU
 # datapath, the BenchmarkFxpFloatRef* twins run the float reference.
 BENCH_FILTER_fxp      = BenchmarkFxp
+# BENCH_flight.json carries the flight-recorder on/off twins; their B/op
+# and allocs/op columns must stay identical (the ring append path is
+# zero-alloc, pinned by TestFlightRecorderAllocNeutral).
+BENCH_FILTER_flight   = BenchmarkFlight
 
 # Redirect instead of piping through tee so a bench failure stops make.
 # -benchmem keeps B/op and allocs/op in the archived JSON, which is what

@@ -12,6 +12,8 @@ package saiyan_test
 import (
 	"context"
 	"io"
+	"math"
+	"runtime"
 	"testing"
 
 	"saiyan"
@@ -364,5 +366,132 @@ func BenchmarkCalibrate(b *testing.B) {
 			b.Fatal(err)
 		}
 		d.Calibrate(-70, rng)
+	}
+}
+
+// Flight-recorder benchmarks: the pipeline workload with per-frame trace
+// stamping, run with and without a recorder attached. The twins pin the
+// flight recorder's hot-path budget the same way the Metrics twins pin
+// the obs registry's: B/op and allocs/op must be identical, because ring
+// appends write into preallocated per-worker shards through atomics
+// only. TestFlightRecorderAllocNeutral asserts the allocs/op side.
+
+func benchFlightPipeline(b *testing.B, workers, tags int, withFlight bool) {
+	const framesPerTag = 4
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 120, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []saiyan.PipelineJob
+	for f := 0; f < framesPerTag; f++ {
+		for _, tag := range ts.Tags {
+			frame, want, err := ts.Frame(tag.ID, uint64(f))
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, saiyan.PipelineJob{
+				Tag: tag.ID, Frame: frame, RSSDBm: tag.RSSDBm, Want: want,
+				Trace: saiyan.FlightTraceID(0, 0, tag.ID, uint64(f)),
+			})
+		}
+	}
+	rss := make([]float64, len(ts.Tags))
+	for i, tag := range ts.Tags {
+		rss[i] = tag.RSSDBm
+	}
+	cfg := saiyan.DefaultPipelineConfig()
+	cfg.Workers = workers
+	cfg.Seed = 7
+	cfg.DiscardResults = true
+	if withFlight {
+		// One recorder across every iteration, like the Metrics twins:
+		// the rings are preallocated once; the hot path only appends.
+		cfg.Flight = saiyan.NewFlightRecorder(saiyan.FlightOptions{Shards: workers + 1})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last saiyan.PipelineStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := saiyan.NewPipeline(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Precalibrate(rss...)
+		b.StartTimer()
+		for at := 0; at < len(jobs); at += tags {
+			if err := p.Submit(jobs[at : at+tags]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		last = p.Drain()
+		if last.FramesOut != uint64(len(jobs)) {
+			b.Fatalf("pipeline lost frames: %d/%d", last.FramesOut, len(jobs))
+		}
+	}
+	b.ReportMetric(last.FramesPerSec(), "frames/s")
+}
+
+func BenchmarkFlightOff4Workers4Tags(b *testing.B)  { benchFlightPipeline(b, 4, 4, false) }
+func BenchmarkFlightOn4Workers4Tags(b *testing.B)   { benchFlightPipeline(b, 4, 4, true) }
+func BenchmarkFlightOff8Workers32Tags(b *testing.B) { benchFlightPipeline(b, 8, 32, false) }
+func BenchmarkFlightOn8Workers32Tags(b *testing.B)  { benchFlightPipeline(b, 8, 32, true) }
+
+// TestFlightRecorderAllocNeutral asserts the recorder-on pipeline
+// workload allocates exactly as much as the recorder-off twin: attaching
+// a flight recorder may not cost the decode hot path a single
+// allocation. Each side is measured several times and compared on its
+// minimum malloc count — GC and scheduler noise only ever add mallocs,
+// so the minima are the true per-run budgets.
+func TestFlightRecorderAllocNeutral(t *testing.T) {
+	const tags, framesPerTag, rounds = 4, 4, 4
+	ts, err := saiyan.NewTagSet(saiyan.DefaultParams(), saiyan.DefaultLinkBudget(), tags, 20, 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []saiyan.PipelineJob
+	for f := 0; f < framesPerTag; f++ {
+		for _, tag := range ts.Tags {
+			frame, want, err := ts.Frame(tag.ID, uint64(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, saiyan.PipelineJob{
+				Tag: tag.ID, Frame: frame, RSSDBm: tag.RSSDBm, Want: want,
+				Trace: saiyan.FlightTraceID(0, 0, tag.ID, uint64(f)),
+			})
+		}
+	}
+	measure := func(rec *saiyan.FlightRecorder) uint64 {
+		cfg := saiyan.DefaultPipelineConfig()
+		cfg.Workers = 1
+		cfg.Seed = 7
+		cfg.DiscardResults = true
+		cfg.Flight = rec
+		best := uint64(math.MaxUint64)
+		for i := 0; i < rounds; i++ {
+			p, err := saiyan.NewPipeline(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Precalibrate(-60)
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			if err := p.Submit(jobs...); err != nil {
+				t.Fatal(err)
+			}
+			p.Drain()
+			runtime.ReadMemStats(&m1)
+			if n := m1.Mallocs - m0.Mallocs; n < best {
+				best = n
+			}
+		}
+		return best
+	}
+	off := measure(nil)
+	on := measure(saiyan.NewFlightRecorder(saiyan.FlightOptions{Shards: 2}))
+	if off != on {
+		t.Errorf("flight recorder changed the allocation budget: off=%d mallocs/run, on=%d mallocs/run", off, on)
 	}
 }

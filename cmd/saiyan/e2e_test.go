@@ -88,7 +88,7 @@ func TestServeWatchE2E(t *testing.T) {
 		t.Fatalf("slow client dial: %v", err)
 	}
 	defer slow.Close()
-	if err := slow.Subscribe(true, true); err != nil {
+	if err := slow.Subscribe(true, true, false); err != nil {
 		t.Fatal(err)
 	}
 	type slowResult struct {
@@ -125,7 +125,7 @@ func TestServeWatchE2E(t *testing.T) {
 	if err != nil {
 		t.Fatalf("churn client dial: %v", err)
 	}
-	if err := churn.Subscribe(true, true); err != nil {
+	if err := churn.Subscribe(true, true, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := churn.Next(); err != nil {

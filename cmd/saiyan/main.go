@@ -22,13 +22,15 @@
 //	                                protocol (-epochs 0 = until interrupted)
 //	saiyan serve -http HOST:PORT    also expose the telemetry plane:
 //	                                /metrics (Prometheus text), /healthz,
-//	                                /snapshot, /debug/pprof/ (combines with
+//	                                /snapshot, /flight (anomaly black
+//	                                boxes), /debug/pprof/ (combines with
 //	                                -listen or the local epoch loop)
-//	saiyan watch [-frames -metrics -n N -rate T:K -rebalance] HOST:PORT
+//	saiyan watch [-frames -metrics -flight -n N -rate T:K -rebalance] HOST:PORT
 //	                                subscribe to a serving gateway and print
 //	                                the live frame/metrics transcript (plus
 //	                                the per-epoch obs dump when the server
-//	                                runs with -http)
+//	                                runs with -http, and flight-recorder
+//	                                anomaly dumps with -flight)
 //	saiyan fxp [-tags M -frames F -workers N -adcbits B]
 //	                                float vs fixed-point (MCU) datapath:
 //	                                parity, speed, cycle/energy budget
@@ -51,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -484,7 +487,7 @@ func runServe(args []string, g *globals) error {
 	channels := fs.Int("channels", 2, "concurrent ingest channels")
 	epochs := fs.Int("epochs", 6, "epochs to serve (0 with -listen = until interrupted)")
 	listen := fs.String("listen", "", "serve the wire protocol on this TCP address (e.g. 127.0.0.1:7316)")
-	httpAddr := fs.String("http", "", "serve the telemetry plane (/metrics /healthz /snapshot /debug/pprof/) on this address ('' = off)")
+	httpAddr := fs.String("http", "", "serve the telemetry plane (/metrics /healthz /snapshot /flight /debug/pprof/) on this address ('' = off)")
 	gap := fs.Duration("gap", 0, "pause between epochs when listening (paces the stream for subscribers)")
 	captureDir := fs.String("capture-dir", "", "allow client capture requests, confined to this directory ('' = captures disabled)")
 	fs.IntVar(&g.tags, "tags", g.tags, "initial tag population")
@@ -542,12 +545,25 @@ func runServe(args []string, g *globals) error {
 		cfg.Metrics = reg
 	}
 
+	// Any telemetry consumer (HTTP plane or wire server) also gets the
+	// flight recorder: shard 0 for the gateway's control plane, one shard
+	// per demodulation worker.
+	var rec *saiyan.FlightRecorder
+	if *httpAddr != "" || *listen != "" {
+		workers := g.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rec = saiyan.NewFlightRecorder(saiyan.FlightOptions{Shards: workers + 1})
+		cfg.Flight = rec
+	}
+
 	gw, err := saiyan.NewGateway(cfg)
 	if err != nil {
 		return err
 	}
 	if *listen != "" {
-		return serveDaemon(gw, *listen, *epochs, *gap, *captureDir, reg, *httpAddr)
+		return serveDaemon(gw, *listen, *epochs, *gap, *captureDir, reg, *httpAddr, rec)
 	}
 	fmt.Printf("serve: %d channels, %d tags (join/%d leave/%d), %d epochs\n",
 		*channels, g.tags, *join, *leave, *epochs)
@@ -556,12 +572,12 @@ func runServe(args []string, g *globals) error {
 		ln, err := serveTelemetry(*httpAddr, reg, func() []byte {
 			b, _ := snapCache.Load().([]byte)
 			return b
-		})
+		}, rec)
 		if err != nil {
 			return err
 		}
 		defer ln.Close()
-		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /flight /debug/pprof/)\n", ln.Addr())
 	}
 	for i := 0; i < *epochs; i++ {
 		rep, err := gw.RunEpoch(context.Background())

@@ -24,15 +24,25 @@ import (
 )
 
 // serveTelemetry binds httpAddr and serves the observability plane
-// (/metrics, /healthz, /snapshot, /debug/pprof/) in the background until
-// the returned listener is closed. snapshot feeds /snapshot and may return
-// nil while no epoch has completed yet.
-func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []byte) (net.Listener, error) {
+// (/metrics, /healthz, /snapshot, /flight, /debug/pprof/) in the
+// background until the returned listener is closed. snapshot feeds
+// /snapshot and may return nil while no epoch has completed yet; rec
+// feeds /flight and may be nil (the endpoint then answers 503).
+func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []byte, rec *saiyan.FlightRecorder) (net.Listener, error) {
 	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry listen: %w", err)
 	}
-	h := saiyan.NewObsHandler(saiyan.ObsHandlerConfig{Registry: reg, Snapshot: snapshot})
+	hcfg := saiyan.ObsHandlerConfig{Registry: reg, Snapshot: snapshot}
+	if rec != nil {
+		hcfg.Flight = func(trace string) []byte {
+			if trace != "" {
+				return rec.QueryJSON(trace)
+			}
+			return rec.RecentJSON(16)
+		}
+	}
+	h := saiyan.NewObsHandler(hcfg)
 	go http.Serve(ln, h) //nolint:errcheck // ends when ln closes
 	return ln, nil
 }
@@ -42,7 +52,7 @@ func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []
 // printed on the first stdout line so callers that asked for port 0 can
 // find the server; the telemetry address (when -http is set) is printed on
 // a later line, never the first.
-func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration, captureDir string, reg *saiyan.ObsRegistry, httpAddr string) error {
+func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration, captureDir string, reg *saiyan.ObsRegistry, httpAddr string, rec *saiyan.FlightRecorder) error {
 	srv, err := saiyan.NewServer(saiyan.ServerConfig{
 		Gateway:    gw,
 		Addr:       listen,
@@ -50,6 +60,7 @@ func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duratio
 		EpochGap:   gap,
 		CaptureDir: captureDir,
 		Metrics:    reg,
+		Flight:     rec,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "saiyan: serve: "+format+"\n", args...)
 		},
@@ -62,13 +73,13 @@ func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duratio
 	fmt.Printf("serving on %s (protocol v%d, epochs=%d); watch with 'saiyan watch %s'\n",
 		srv.Addr(), saiyan.ServerProtocolVersion, epochs, srv.Addr())
 	if reg != nil {
-		ln, err := serveTelemetry(httpAddr, reg, srv.SnapshotJSON)
+		ln, err := serveTelemetry(httpAddr, reg, srv.SnapshotJSON, rec)
 		if err != nil {
 			srv.Close()
 			return err
 		}
 		defer ln.Close()
-		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /flight /debug/pprof/)\n", ln.Addr())
 	}
 	if err := srv.Serve(ctx); err != nil {
 		return err
@@ -101,6 +112,7 @@ func runWatch(args []string, _ *globals) error {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	frames := fs.Bool("frames", true, "subscribe to per-frame decode events")
 	metrics := fs.Bool("metrics", true, "subscribe to per-epoch metrics")
+	flightDumps := fs.Bool("flight", false, "subscribe to flight-recorder anomaly dumps (decision chains)")
 	n := fs.Int("n", 0, "leave after N epoch reports (0 = stay until the server says bye)")
 	rate := fs.String("rate", "", "send a one-shot rate override as tag:k (tag -1 = all tags)")
 	rebalance := fs.Bool("rebalance", false, "ask the server to rebalance tags across channels once")
@@ -119,7 +131,7 @@ func runWatch(args []string, _ *globals) error {
 	h := c.Hello()
 	fmt.Printf("connected to %s: protocol v%d, %d channels, %d tags active, %d epochs served\n",
 		fs.Arg(0), h.Protocol, h.Channels, h.TagsActive, h.Epochs)
-	if err := c.Subscribe(*frames, *metrics); err != nil {
+	if err := c.Subscribe(*frames, *metrics, *flightDumps); err != nil {
 		return err
 	}
 	if *rate != "" {
@@ -166,6 +178,8 @@ func runWatch(args []string, _ *globals) error {
 				s.RateSwitches, s.Hops, s.Recalibrations)
 		case saiyan.ServerEventObs:
 			printObsDump(ev.Obs)
+		case saiyan.ServerEventFlight:
+			printFlightDump(ev.Flight)
 		case saiyan.ServerEventStats:
 			st := ev.Stats
 			fmt.Printf("you: epoch %d frames %d sent/%d dropped, metrics %d sent/%d dropped\n",
@@ -190,6 +204,23 @@ func printObsDump(dump []saiyan.MetricSnapshot) {
 			continue
 		}
 		fmt.Printf("  %s %.6g\n", m.Name, m.Value)
+	}
+}
+
+// printFlightDump renders one anomaly black-box dump: a trigger line,
+// then each involved trace's decision chain in receive-path order
+// (segment → decode → fold → control → fanout).
+func printFlightDump(d saiyan.FlightDump) {
+	fmt.Printf("flight #%d %s: epoch=%d ch=%d tag=%d seq=%d (%d traces, %d spans)\n",
+		d.ID, d.Kind, d.Epoch, d.Channel, d.Tag, d.Seq, len(d.Traces), len(d.Spans))
+	var last uint64
+	for _, s := range d.Spans {
+		if s.Trace != last {
+			fmt.Printf("  trace %s tag=%d ch=%d seq=%d\n",
+				saiyan.FormatFlightTrace(s.Trace), s.Tag, s.Channel, s.Seq)
+			last = s.Trace
+		}
+		fmt.Printf("    %-7s %-14s a=%.4g b=%.4g\n", s.Stage, s.Decision, s.A, s.B)
 	}
 }
 

@@ -156,7 +156,7 @@
 //	go srv.Serve(ctx)                        // cancel ctx to stop early
 //
 //	c, _ := saiyan.DialServer(srv.Addr().String())
-//	c.Subscribe(true, true)                  // frame events + epoch metrics
+//	c.Subscribe(true, true, false)           // frame events + epoch metrics, no flight dumps
 //	c.OverrideRate(-1, 3)                    // control: force K=3 on every tag
 //	for {
 //		ev, err := c.Next()                  // ServerEventFrame, -Epoch, -Snapshot, ...
@@ -205,6 +205,24 @@
 // byte-identical with metrics on or off at any worker count, and the
 // decode hot path records without allocating (both pinned by tests).
 // `saiyan serve -http` and `saiyan watch` are the CLI faces.
+//
+// Next to the registry rides the flight recorder (internal/flight), the
+// per-frame black box: every layer that touches a frame appends a
+// fixed-size span — keyed by a trace ID derived purely from (epoch,
+// channel, tag, seq), never from a clock — into per-worker ring buffers,
+// and an anomaly (decode failure, dedup miss, retransmission, channel
+// hop, PRR collapse, operator override) snapshots the rings into a dump
+// carrying the involved traces' decision chains. Build one with
+// NewFlightRecorder (at least Workers+1 shards) and hand the same
+// recorder to GatewayConfig.Flight and ServerConfig.Flight; dumps
+// surface on the /flight endpoint (ObsHandlerConfig.Flight), as 0x18
+// wire messages to subscribers that asked for them (the third Subscribe
+// argument), and through `saiyan watch -flight`. The recorder obeys the
+// same write-only contract as the registry: attaching one never changes
+// a snapshot, appends never allocate, and dumps are byte-identical at
+// any worker count. Histogram buckets carry the last landing trace ID as
+// an exemplar (JSON snapshots only), linking a latency outlier back to
+// one concrete frame's chain.
 //
 // # Fixed-point MCU datapath
 //

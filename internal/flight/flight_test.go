@@ -1,0 +1,333 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTraceIDDeterministicAndNonzero(t *testing.T) {
+	a := TraceID(3, 1, 7, 42)
+	b := TraceID(3, 1, 7, 42)
+	if a != b {
+		t.Fatalf("TraceID not deterministic: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("TraceID returned the 0 sentinel")
+	}
+	seen := map[uint64]bool{}
+	for epoch := 0; epoch < 4; epoch++ {
+		for ch := 0; ch < 3; ch++ {
+			for tag := 0; tag < 5; tag++ {
+				for seq := uint64(0); seq < 6; seq++ {
+					id := TraceID(epoch, ch, tag, seq)
+					if id == 0 {
+						t.Fatalf("zero trace for (%d,%d,%d,%d)", epoch, ch, tag, seq)
+					}
+					if seen[id] {
+						t.Fatalf("trace collision at (%d,%d,%d,%d)", epoch, ch, tag, seq)
+					}
+					seen[id] = true
+				}
+			}
+		}
+	}
+}
+
+func TestFormatParseTraceRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xdeadbeef, math.MaxUint64, TraceID(1, 2, 3, 4)} {
+		s := FormatTrace(v)
+		if len(s) != 16 {
+			t.Fatalf("FormatTrace(%d) = %q, want 16 hex digits", v, s)
+		}
+		got, ok := ParseTrace(s)
+		if !ok || got != v {
+			t.Fatalf("ParseTrace(%q) = %d,%v want %d", s, got, ok, v)
+		}
+		got, ok = ParseTrace("0x" + s)
+		if !ok || got != v {
+			t.Fatalf("ParseTrace(0x%s) = %d,%v want %d", s, got, ok, v)
+		}
+	}
+	if _, ok := ParseTrace("not-hex"); ok {
+		t.Fatal("ParseTrace accepted garbage")
+	}
+}
+
+func TestNilRecorderNoops(t *testing.T) {
+	var r *Recorder
+	r.Append(0, Span{Trace: 1})
+	r.BeginEpoch(3)
+	r.SetHook(func(Dump) {})
+	r.Trigger(KindDecodeFailure, 0, 0, 0, 0, 1)
+	if got := r.Recent(10); got != nil {
+		t.Fatalf("nil Recent = %v", got)
+	}
+	if got := r.Find(1); got != nil {
+		t.Fatalf("nil Find = %v", got)
+	}
+	if got := r.Shards(); got != 0 {
+		t.Fatalf("nil Shards = %d", got)
+	}
+}
+
+func TestTriggerFiltersSortsAndHooks(t *testing.T) {
+	r := New(Options{Shards: 3, SpanCap: 8, DumpCap: 4})
+	tr1 := TraceID(0, 0, 1, 10)
+	tr2 := TraceID(0, 0, 2, 20)
+	// Spread one trace's spans across shards in "wrong" order.
+	r.Append(2, Span{Trace: tr1, Stage: StageDecode, Decision: DecodeErr, A: -1})
+	r.Append(0, Span{Trace: tr1, Stage: StageSegment, Decision: WindowMatched, A: -92})
+	r.Append(1, Span{Trace: tr2, Stage: StageDecode, Decision: DecodeOK})
+	r.Append(0, Span{Trace: tr1, Stage: StageFold, Decision: Missing})
+
+	var hooked []Dump
+	r.SetHook(func(d Dump) { hooked = append(hooked, d) })
+	r.Trigger(KindDecodeFailure, 5, 1, 1, 10, tr1)
+
+	dumps := r.Recent(10)
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.ID != 1 || d.Kind != KindDecodeFailure || d.Epoch != 5 || d.Channel != 1 || d.Tag != 1 || d.Seq != 10 {
+		t.Fatalf("dump metadata = %+v", d)
+	}
+	if len(d.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (tr2 must be filtered out)", len(d.Spans))
+	}
+	wantStages := []Stage{StageSegment, StageDecode, StageFold}
+	for i, s := range d.Spans {
+		if s.Trace != tr1 {
+			t.Fatalf("span %d trace %x, want %x", i, s.Trace, tr1)
+		}
+		if s.Stage != wantStages[i] {
+			t.Fatalf("span %d stage %v, want %v (content sort)", i, s.Stage, wantStages[i])
+		}
+	}
+	if len(hooked) != 1 || hooked[0].ID != 1 {
+		t.Fatalf("hook saw %v", hooked)
+	}
+
+	if got := r.Find(tr1); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("Find(tr1) = %v", got)
+	}
+	if got := r.Find(tr2); got != nil {
+		t.Fatalf("Find(tr2) = %v, want none", got)
+	}
+}
+
+func TestDumpOrderIndependentOfShardPlacement(t *testing.T) {
+	// The same spans appended to different shards in different orders
+	// must trigger byte-identical dumps — the worker-count bar.
+	spans := []Span{
+		{Trace: 9, Stage: StageSegment, Decision: WindowMatched, Seq: 1, A: -80},
+		{Trace: 9, Stage: StageDecode, Decision: DecodeOK, Seq: 1, B: 128},
+		{Trace: 9, Stage: StageFold, Decision: Delivered, Seq: 1, A: 11.5},
+	}
+	encode := func(shards int, order []int) []byte {
+		r := New(Options{Shards: shards, SpanCap: 8, DumpCap: 2})
+		for i, idx := range order {
+			r.Append(i%shards, spans[idx])
+		}
+		r.Trigger(KindOperator, 0, 0, 0, 1, 9)
+		return EncodeDump(nil, r.Recent(1)[0])
+	}
+	a := encode(1, []int{0, 1, 2})
+	b := encode(4, []int{2, 0, 1})
+	if !bytes.Equal(a, b) {
+		t.Fatal("dump bytes differ across shard placements")
+	}
+}
+
+func TestBeginEpochResetsRings(t *testing.T) {
+	r := New(Options{Shards: 1, SpanCap: 4, DumpCap: 2})
+	r.Append(0, Span{Trace: 7, Stage: StageDecode, Decision: DecodeOK})
+	r.BeginEpoch(1)
+	r.Trigger(KindOperator, 1, 0, 0, 0, 7)
+	if d := r.Recent(1); len(d) != 1 || len(d[0].Spans) != 0 {
+		t.Fatalf("spans survived BeginEpoch: %+v", d)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := New(Options{Shards: 1, SpanCap: 4, DumpCap: 2})
+	for i := 0; i < 10; i++ {
+		r.Append(0, Span{Trace: 5, Seq: uint32(i), Stage: StageDecode, Decision: DecodeOK})
+	}
+	r.Trigger(KindOperator, 0, 0, 0, 0, 5)
+	d := r.Recent(1)[0]
+	if len(d.Spans) != 4 {
+		t.Fatalf("got %d spans, want the 4 newest", len(d.Spans))
+	}
+	for _, s := range d.Spans {
+		if s.Seq < 6 {
+			t.Fatalf("stale span survived wrap: %+v", s)
+		}
+	}
+}
+
+func TestDumpRingEviction(t *testing.T) {
+	r := New(Options{Shards: 1, SpanCap: 4, DumpCap: 2})
+	for i := 0; i < 5; i++ {
+		r.Append(0, Span{Trace: uint64(100 + i)})
+		r.Trigger(KindRetx, i, 0, 0, 0, uint64(100+i))
+	}
+	dumps := r.Recent(10)
+	if len(dumps) != 2 {
+		t.Fatalf("got %d dumps, want DumpCap=2", len(dumps))
+	}
+	if dumps[0].ID != 4 || dumps[1].ID != 5 {
+		t.Fatalf("retained ids %d,%d want 4,5", dumps[0].ID, dumps[1].ID)
+	}
+}
+
+func TestMaxSpansTruncation(t *testing.T) {
+	r := New(Options{Shards: 1, SpanCap: 16, DumpCap: 2, MaxSpans: 3})
+	for i := 0; i < 8; i++ {
+		r.Append(0, Span{Trace: 3, Seq: uint32(i)})
+	}
+	r.Trigger(KindOperator, 0, 0, 0, 0, 3)
+	d := r.Recent(1)[0]
+	if len(d.Spans) != 3 {
+		t.Fatalf("got %d spans, want MaxSpans=3", len(d.Spans))
+	}
+	// Truncation happens after the content sort, so it keeps the
+	// lowest-sorting spans deterministically.
+	for i, s := range d.Spans {
+		if s.Seq != uint32(i) {
+			t.Fatalf("span %d seq %d after truncation", i, s.Seq)
+		}
+	}
+}
+
+func TestEncodeDecodeDumpRoundTrip(t *testing.T) {
+	d := Dump{
+		ID: 3, Kind: KindHop, Epoch: 7, Channel: 2, Tag: 4, Seq: 99,
+		Traces: []uint64{1, TraceID(7, 2, 4, 99)},
+		Spans: []Span{
+			{Trace: 1, Seq: 9, Epoch: 7, Tag: 4, Channel: 2, Stage: StageSegment, Decision: WindowMatched, A: -85.25, B: 4096},
+			{Trace: 1, Seq: 9, Epoch: 7, Tag: 4, Channel: 2, Stage: StageControl, Decision: Hop, A: 2, B: 0},
+		},
+	}
+	buf := EncodeDump(nil, d)
+	got, err := DecodeDump(buf)
+	if err != nil {
+		t.Fatalf("DecodeDump: %v", err)
+	}
+	if got.ID != d.ID || got.Kind != d.Kind || got.Epoch != d.Epoch ||
+		got.Channel != d.Channel || got.Tag != d.Tag || got.Seq != d.Seq {
+		t.Fatalf("metadata round trip: got %+v want %+v", got, d)
+	}
+	if len(got.Traces) != 2 || got.Traces[0] != d.Traces[0] || got.Traces[1] != d.Traces[1] {
+		t.Fatalf("traces round trip: %v", got.Traces)
+	}
+	if len(got.Spans) != 2 || got.Spans[0] != d.Spans[0] || got.Spans[1] != d.Spans[1] {
+		t.Fatalf("spans round trip: %+v", got.Spans)
+	}
+	// Re-encoding the decoded dump must be byte-identical.
+	if !bytes.Equal(buf, EncodeDump(nil, got)) {
+		t.Fatal("re-encode differs")
+	}
+}
+
+func TestDecodeDumpCorruption(t *testing.T) {
+	d := Dump{ID: 1, Kind: KindRetx, Traces: []uint64{5}, Spans: []Span{{Trace: 5}}}
+	good := EncodeDump(nil, d)
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("WRONGMG\x00"), good[8:]...),
+		"truncated": good[:len(good)-6],
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-10] ^= 0xff
+	cases["bit flip"] = flipped
+	for name, buf := range cases {
+		if _, err := DecodeDump(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[8] = 0xEE // version field
+	if _, err := DecodeDump(bad); !errors.Is(err, ErrVersion) {
+		t.Errorf("version: err = %v, want ErrVersion", err)
+	}
+}
+
+func TestDumpJSONRendering(t *testing.T) {
+	d := Dump{
+		ID: 2, Kind: KindDecodeFailure, Epoch: 1, Channel: 0, Tag: 3, Seq: 12,
+		Traces: []uint64{0xabc},
+		Spans: []Span{
+			{Trace: 0xabc, Stage: StageDecode, Decision: DecodeErr, A: math.NaN(), B: math.Inf(1)},
+		},
+	}
+	var got struct {
+		Kind   string `json:"kind"`
+		Traces []string
+		Spans  []struct {
+			Trace    string
+			Stage    string
+			Decision string
+			A, B     float64
+		}
+	}
+	if err := json.Unmarshal(d.JSON(), &got); err != nil {
+		t.Fatalf("dump JSON does not parse: %v", err)
+	}
+	if got.Kind != "decode-failure" {
+		t.Fatalf("kind = %q", got.Kind)
+	}
+	if len(got.Traces) != 1 || got.Traces[0] != "0000000000000abc" {
+		t.Fatalf("traces = %v", got.Traces)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Stage != "decode" || got.Spans[0].Decision != "decode-err" {
+		t.Fatalf("spans = %+v", got.Spans)
+	}
+	if got.Spans[0].A != 0 || got.Spans[0].B != math.MaxFloat64 {
+		t.Fatalf("NaN/Inf not sanitized: %+v", got.Spans[0])
+	}
+}
+
+func TestRecentAndQueryJSON(t *testing.T) {
+	r := New(Options{Shards: 1, SpanCap: 8, DumpCap: 4})
+	tr := TraceID(0, 0, 1, 1)
+	r.Append(0, Span{Trace: tr, Stage: StageFold, Decision: Missing})
+	r.Trigger(KindDecodeFailure, 0, 0, 1, 1, tr)
+
+	var dumps []json.RawMessage
+	if err := json.Unmarshal(r.RecentJSON(10), &dumps); err != nil || len(dumps) != 1 {
+		t.Fatalf("RecentJSON: %v (%d dumps)", err, len(dumps))
+	}
+	if err := json.Unmarshal(r.QueryJSON(FormatTrace(tr)), &dumps); err != nil || len(dumps) != 1 {
+		t.Fatalf("QueryJSON(hit): %v (%d dumps)", err, len(dumps))
+	}
+	if err := json.Unmarshal(r.QueryJSON("ffffffffffffffff"), &dumps); err != nil || len(dumps) != 0 {
+		t.Fatalf("QueryJSON(miss): %v (%d dumps)", err, len(dumps))
+	}
+	if string(r.QueryJSON("zzz")) != "[]" {
+		t.Fatal("QueryJSON(garbage) should be empty array")
+	}
+	var nilRec *Recorder
+	if string(nilRec.RecentJSON(5)) != "[]" {
+		t.Fatal("nil RecentJSON should render empty array")
+	}
+}
+
+func TestAppendZeroAlloc(t *testing.T) {
+	r := New(Options{Shards: 2, SpanCap: 64})
+	s := Span{Trace: 1, Stage: StageDecode, Decision: DecodeOK, A: 1, B: 2}
+	allocs := testing.AllocsPerRun(1000, func() { r.Append(1, s) })
+	if allocs != 0 {
+		t.Fatalf("Append allocates %.1f allocs/op, want 0", allocs)
+	}
+	var nilRec *Recorder
+	allocs = testing.AllocsPerRun(1000, func() { nilRec.Append(0, s) })
+	if allocs != 0 {
+		t.Fatalf("nil Append allocates %.1f allocs/op, want 0", allocs)
+	}
+}

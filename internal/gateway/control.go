@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"saiyan/internal/dsp"
+	"saiyan/internal/flight"
 	"saiyan/internal/mac"
 )
 
@@ -14,11 +15,24 @@ import (
 // completion order — so every counter and sliding window is a pure
 // function of the seed.
 func (g *Gateway) fold(plan *epochPlan) {
+	rec := g.cfg.Flight
+	if rec != nil {
+		// Fresh trace lists for the epoch: control-loop and operator dumps
+		// filter on what this epoch's fold saw, nothing older.
+		for _, id := range g.sessionTags() {
+			g.sessions[id].flightTraces = g.sessions[id].flightTraces[:0]
+		}
+	}
 	for _, grp := range plan.groups {
 		for ei, ev := range grp.capture.Events {
 			s := g.sessions[ev.Tag]
 			o := grp.outcomes[ei]
 			isRetx := ev.Retransmitted
+			var trace uint64
+			if rec != nil {
+				trace = flight.TraceID(plan.epoch, grp.channel, ev.Tag, ev.Seq)
+				s.flightTraces = append(s.flightTraces, trace)
+			}
 			if !isRetx {
 				s.scheduled++
 				g.agg.framesScheduled++
@@ -32,6 +46,17 @@ func (g *Gateway) fold(plan *epochPlan) {
 				g.agg.symbolsChecked += uint64(len(ev.Want))
 				g.agg.symbolErrs += uint64(o.symbolErrs)
 			}
+			foldSpan := func(d flight.Decision) {
+				if rec == nil {
+					return
+				}
+				rec.Append(0, flight.Span{
+					Trace: trace, Seq: uint32(ev.Seq), Epoch: uint32(plan.epoch),
+					Tag: uint16(ev.Tag), Channel: uint16(grp.channel),
+					Stage: flight.StageFold, Decision: d,
+					A: s.snrEst, B: float64(grp.k),
+				})
+			}
 			fresh := false
 			if o.correct {
 				s.snr.push(ev.RSSDBm - g.noiseFloorDB)
@@ -43,11 +68,16 @@ func (g *Gateway) fold(plan *epochPlan) {
 						s.retxRecovered++
 						g.agg.retxRecovered++
 					}
+					foldSpan(flight.Delivered)
 				} else {
 					g.agg.framesDuplicate++
+					foldSpan(flight.Duplicate)
+					rec.Trigger(flight.KindDedupMiss, plan.epoch, grp.channel, ev.Tag, ev.Seq, trace)
 				}
 			} else {
 				s.markMissing(ev.Seq)
+				foldSpan(flight.Missing)
+				rec.Trigger(flight.KindDecodeFailure, plan.epoch, grp.channel, ev.Tag, ev.Seq, trace)
 			}
 			if g.frameHook != nil {
 				errs := -1
@@ -164,9 +194,28 @@ const minHopEvidence = 4
 // propagates instead of being dropped.
 func (g *Gateway) control(epoch int) error {
 	rng := dsp.NewRand(g.cfg.Seed^commandSalt, uint64(epoch))
+	rec := g.cfg.Flight
 	for _, id := range g.aliveIDs() {
 		t := g.tags[id]
 		s := g.sessions[id]
+
+		// Control decisions are tag-level: their flight spans attach to the
+		// tag's most recent frame of the epoch, so a trace's chain reads
+		// segment → decode → fold → control.
+		var trace uint64
+		if rec != nil && len(s.flightTraces) > 0 {
+			trace = s.flightTraces[len(s.flightTraces)-1]
+		}
+		ctlSpan := func(d flight.Decision, a, b float64) {
+			if trace == 0 {
+				return
+			}
+			rec.Append(0, flight.Span{
+				Trace: trace, Epoch: uint32(epoch), Tag: uint16(id),
+				Channel: uint16(t.channel), Stage: flight.StageControl,
+				Decision: d, A: a, B: b,
+			})
+		}
 
 		// Rate adaptation: fastest K whose extrapolated BER meets the
 		// target; fall back to the floor rate when none does.
@@ -182,25 +231,39 @@ func (g *Gateway) control(epoch int) error {
 				return err
 			}
 			if ok {
+				old := t.rateK
 				t.rateK = k
 				s.rateSwitches++
 				g.agg.rateSwitches++
+				ctlSpan(flight.RateChange, float64(old), float64(k))
 			}
+		} else {
+			ctlSpan(flight.RateHold, s.prr.mean(), float64(k))
 		}
 
 		// Channel hop: a collapsed delivery window on a channel with a
-		// better alternative moves the tag.
+		// better alternative moves the tag. A collapse that cannot hop
+		// (already on the best channel, or the command was lost) is its
+		// own anomaly.
 		if s.prr.count() >= minHopEvidence && s.prr.mean() < g.cfg.HopThresholdPRR {
+			hopped := false
 			if best := g.bestChannel(); best != t.channel {
 				ok, err := g.sendCommand(rng, s, mac.Command{Op: mac.OpHopChannel, Addr: addrOf(id), Arg: best})
 				if err != nil {
 					return err
 				}
 				if ok {
+					oldCh := t.channel
 					t.channel = best
 					s.hops++
 					g.agg.hops++
+					ctlSpan(flight.Hop, float64(oldCh), float64(best))
+					rec.Trigger(flight.KindHop, epoch, oldCh, id, 0, s.flightTraces...)
+					hopped = true
 				}
+			}
+			if !hopped {
+				rec.Trigger(flight.KindPRRCollapse, epoch, t.channel, id, 0, s.flightTraces...)
 			}
 		}
 
@@ -215,18 +278,23 @@ func (g *Gateway) control(epoch int) error {
 				return err
 			}
 			if ok {
+				prev := s.calAnchorSNR
 				s.calAnchorSNR = s.snrEst
 				s.recals++
 				g.agg.recals++
+				ctlSpan(flight.Recalibrate, s.snrEst, prev)
 			}
 		}
 
 		// Retransmission: ask for every still-missing frame with budget
 		// left; a delivered command schedules the frame on the next epoch.
 		kept := s.missing[:0]
+		retxNow := 0
+		var firstRetx uint64
 		for _, m := range s.missing {
 			if m.attempts >= g.cfg.RetryMax {
 				g.met.retxAbandon()
+				ctlSpan(flight.RetxAbandoned, float64(m.seq), float64(m.attempts))
 				continue // budget exhausted: the frame is abandoned
 			}
 			m.attempts++
@@ -239,10 +307,18 @@ func (g *Gateway) control(epoch int) error {
 				t.retxNext = append(t.retxNext, m.seq)
 				s.retxScheduled++
 				g.agg.retxScheduled++
+				ctlSpan(flight.RetxScheduled, float64(m.seq), float64(m.attempts))
+				if retxNow == 0 {
+					firstRetx = m.seq
+				}
+				retxNow++
 			}
 			kept = append(kept, m)
 		}
 		s.missing = kept
+		if retxNow > 0 {
+			rec.Trigger(flight.KindRetx, epoch, t.channel, id, firstRetx, s.flightTraces...)
+		}
 	}
 	return nil
 }

@@ -35,6 +35,7 @@ import (
 
 	"saiyan/internal/core"
 	"saiyan/internal/dsp"
+	"saiyan/internal/flight"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
 	"saiyan/internal/obs"
@@ -142,6 +143,17 @@ type Config struct {
 	// byte-identical at any worker count with metrics on or off (pinned by
 	// TestSnapshotDeterminismWithMetrics).
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, is the per-frame flight recorder: hot layers
+	// append fixed-size decision spans (segment, decode, fold, control)
+	// and anomalies — decode failures, dedup misses, retransmissions,
+	// hops, PRR collapses, operator actions — snapshot the rings into
+	// black-box dumps. Write-only like Metrics: no control decision ever
+	// reads the recorder, so Snapshot and every dump stay byte-identical
+	// at any worker count (pinned by TestFlightDumpDeterminism). The
+	// recorder needs at least Workers+1 shards: shard 0 is the gateway's
+	// control-plane goroutine, shards 1..Workers belong to the pipeline.
+	Flight *flight.Recorder
 }
 
 // DefaultConfig returns a 2-channel, 8-tag gateway over the paper's
@@ -519,6 +531,10 @@ func (g *Gateway) RunEpoch(ctx context.Context) (EpochReport, error) {
 	}
 	start := time.Now() //lint:allow determinism EpochReport.Elapsed is documented wall-clock, never folded into snapshots
 	epoch := g.epoch
+	// Reset the span rings so each ring holds exactly this epoch's spans —
+	// the per-epoch reset is what keeps anomaly dumps worker-count
+	// invariant.
+	g.cfg.Flight.BeginEpoch(epoch)
 	g.applyChurn(epoch)
 
 	preDelivered := g.agg.framesDelivered
@@ -739,6 +755,31 @@ func (g *Gateway) params(k int) lora.Params {
 // preserved: the same call sequence at the same epoch boundaries yields
 // byte-identical snapshots at any worker count.
 
+// operatorDump snapshots the flight rings for an operator action on tag
+// (tag < 0 = deployment-wide): the dump's trace filter is the affected
+// sessions' most recent epoch of frames, gathered in ascending tag order
+// so the dump is deterministic. No-op without a recorder.
+func (g *Gateway) operatorDump(tag int) {
+	if g.cfg.Flight == nil {
+		return
+	}
+	var traces []uint64
+	channel := 0
+	if tag >= 0 {
+		if s, ok := g.sessions[tag]; ok {
+			traces = append(traces, s.flightTraces...)
+		}
+		if t, ok := g.tags[tag]; ok {
+			channel = t.channel
+		}
+	} else {
+		for _, id := range g.aliveIDs() {
+			traces = append(traces, g.sessions[id].flightTraces...)
+		}
+	}
+	g.cfg.Flight.Trigger(flight.KindOperator, g.epoch, channel, tag, 0, traces...)
+}
+
 // OverrideRate forces tag's downlink rate to k, bypassing the rate
 // adapter for this epoch boundary (the control loop may re-adapt later
 // unless the operator keeps overriding). tag < 0 applies the override to
@@ -761,6 +802,7 @@ func (g *Gateway) OverrideRate(tag, k int) error {
 		for _, id := range g.aliveIDs() {
 			apply(g.tags[id])
 		}
+		g.operatorDump(-1)
 		return nil
 	}
 	t, ok := g.tags[tag]
@@ -768,6 +810,7 @@ func (g *Gateway) OverrideRate(tag, k int) error {
 		return fmt.Errorf("gateway: tag %d not deployed", tag)
 	}
 	apply(t)
+	g.operatorDump(tag)
 	return nil
 }
 
@@ -789,6 +832,7 @@ func (g *Gateway) MoveTag(tag, channel int) error {
 		g.sessions[tag].hops++
 		g.agg.hops++
 	}
+	g.operatorDump(tag)
 	return nil
 }
 
@@ -809,5 +853,6 @@ func (g *Gateway) Rebalance() (moved int, err error) {
 			moved++
 		}
 	}
+	g.operatorDump(-1)
 	return moved, nil
 }

@@ -138,6 +138,11 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 			HuntRSSDBm:     g.huntRSS(grp),
 			Seed:           g.cfg.Seed,
 			Metrics:        g.cfg.Metrics,
+			// Segmentation runs on this (submission) goroutine, so every
+			// segmenter shares the control-plane flight shard 0.
+			Flight:        g.cfg.Flight,
+			FlightEpoch:   plan.epoch,
+			FlightChannel: grp.channel,
 		}
 		src, err := stream.NewSource(scfg, capture.Chunks(g.cfg.ChunkSamples), grp.matcher())
 		if err != nil {
@@ -184,10 +189,10 @@ func (g *Gateway) ingest(ctx context.Context, plan *epochPlan) error {
 // event is claimed at most once; duplicate windows go through unmatched.
 func (grp *ingestGroup) matcher() stream.Matcher {
 	claimed := make([]bool, len(grp.capture.Events))
-	return func(startSamp int64) (int, []int, bool) {
+	return func(startSamp int64) (int, uint64, []int, bool) {
 		idx, ok := grp.capture.Match(startSamp)
 		if !ok || claimed[idx] {
-			return 0, nil, false
+			return 0, 0, nil, false
 		}
 		claimed[idx] = true
 		ev := grp.capture.Events[idx]
@@ -195,7 +200,7 @@ func (grp *ingestGroup) matcher() stream.Matcher {
 			event:  idx,
 			offset: startSamp - int64(ev.StartSamp),
 		})
-		return ev.Tag, ev.Want, true
+		return ev.Tag, ev.Seq, ev.Want, true
 	}
 }
 
@@ -217,6 +222,9 @@ func (g *Gateway) ingestRateGroup(ctx context.Context, groups []*ingestGroup) er
 		Workers: g.cfg.Workers,
 		Seed:    g.cfg.Seed,
 		Metrics: g.cfg.Metrics,
+		// Workers write flight shards 1..Workers (pipeline defaults
+		// FlightShard to 1), keeping shard 0 to the segmenter above.
+		Flight: g.cfg.Flight,
 	}
 	pcfg.Demod.Params = g.params(groups[0].k)
 	p, err := pipeline.New(pcfg)

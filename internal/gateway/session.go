@@ -69,6 +69,11 @@ type session struct {
 	lastChannel int
 	lastRateK   int
 
+	// flightTraces holds this tag's flight trace IDs from the most recent
+	// epoch's fold, in schedule order — the trace filter control-loop and
+	// operator anomaly dumps use. Empty when no recorder is attached.
+	flightTraces []uint64
+
 	// Counters (monotonic).
 	scheduled     uint64 // unique frames first-scheduled for this tag
 	deliveredN    uint64 // unique frames delivered error-free

@@ -36,7 +36,7 @@ var (
 // export data (plus transitive deps) is resolved once per test binary.
 var fixtureDeps = []string{
 	"context", "errors", "fmt", "math/rand", "sort", "time",
-	"saiyan/internal/obs",
+	"saiyan/internal/obs", "saiyan/internal/flight",
 }
 
 func fixtureImporter(t *testing.T) types.Importer {
@@ -200,6 +200,10 @@ func TestObsGate(t *testing.T) {
 
 func TestObsGateTelemetryPlane(t *testing.T) {
 	runFixture(t, lint.ByName("obsgate"), "saiyanvet.example/server", "obsgate_serve")
+}
+
+func TestObsGateFlight(t *testing.T) {
+	runFixture(t, lint.ByName("obsgate"), "saiyanvet.example/stream", "flightgate")
 }
 
 func TestCtxFirst(t *testing.T) {

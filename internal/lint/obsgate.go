@@ -31,15 +31,34 @@ var obsRegisterFuncs = map[string]bool{
 	"NewHandler":   true,
 }
 
+// flightReadMethods are the internal/flight APIs that read recorder
+// state back out of the rings and the dump buffer. Like obs reads, they
+// take the recorder lock and allocate; they belong to the telemetry
+// plane (/flight, the wire fanout), never to the layers that feed the
+// rings. Append/Trigger/TraceID/BeginEpoch stay legal everywhere.
+var flightReadMethods = map[string]bool{
+	"Recent":     true,
+	"RecentJSON": true,
+	"QueryJSON":  true,
+	"Find":       true,
+}
+
+// flightConstructFuncs allocate recorder state (rings, dump buffers);
+// they belong in constructors, never inside //saiyan:hotpath bodies.
+var flightConstructFuncs = map[string]bool{
+	"New": true,
+}
+
 // ObsGate keeps instrumentation one-directional: hot-layer packages (the
-// snapshot set) may only write to internal/obs handles, and hotpath
-// functions may not register or construct metrics per call. Together with
-// the nil-safe handle design (a nil *Counter/*Gauge/*Histogram is a
-// no-op) this is what lets the same binary run fully instrumented or
-// fully dark with identical outputs.
+// snapshot set) may only write to internal/obs handles and internal/flight
+// rings, and hotpath functions may not register or construct
+// metrics/recorders per call. Together with the nil-safe handle design (a
+// nil *Counter/*Gauge/*Histogram/*flight.Recorder is a no-op) this is what
+// lets the same binary run fully instrumented or fully dark with identical
+// outputs.
 var ObsGate = &Analyzer{
 	Name: "obsgate",
-	Doc:  "keeps internal/obs write-only from hot layers and registration out of hotpath functions",
+	Doc:  "keeps internal/obs and internal/flight write-only from hot layers and registration out of hotpath functions",
 	Run:  runObsGate,
 }
 
@@ -59,19 +78,33 @@ func runObsGate(p *Pass) error {
 				return true
 			}
 			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
-			if !ok || !isObsPkg(fn.Pkg()) {
+			if !ok {
 				return true
 			}
 			name := fn.Name()
-			if hotLayer && obsReadMethods[name] {
-				p.Reportf(call.Pos(),
-					"obs.%s reads metric state from a hot-layer package: instrumentation is write-only here; reads belong to the telemetry plane", name)
-				return true
-			}
-			fd := enclosingFuncDecl(stack)
-			if fd != nil && HasDirective(fd, "hotpath") && obsRegisterFuncs[name] {
-				p.Reportf(call.Pos(),
-					"obs.%s registers/constructs a metric inside a hotpath function: it locks the registry per call; resolve handles once in the constructor", name)
+			switch {
+			case isObsPkg(fn.Pkg()):
+				if hotLayer && obsReadMethods[name] {
+					p.Reportf(call.Pos(),
+						"obs.%s reads metric state from a hot-layer package: instrumentation is write-only here; reads belong to the telemetry plane", name)
+					return true
+				}
+				fd := enclosingFuncDecl(stack)
+				if fd != nil && HasDirective(fd, "hotpath") && obsRegisterFuncs[name] {
+					p.Reportf(call.Pos(),
+						"obs.%s registers/constructs a metric inside a hotpath function: it locks the registry per call; resolve handles once in the constructor", name)
+				}
+			case isFlightPkg(fn.Pkg()):
+				if hotLayer && flightReadMethods[name] {
+					p.Reportf(call.Pos(),
+						"flight.%s reads recorder state from a hot-layer package: the flight recorder is write-only here; dump reads belong to the telemetry plane", name)
+					return true
+				}
+				fd := enclosingFuncDecl(stack)
+				if fd != nil && HasDirective(fd, "hotpath") && flightConstructFuncs[name] {
+					p.Reportf(call.Pos(),
+						"flight.%s constructs a recorder inside a hotpath function: it allocates the ring shards; build the recorder once at startup", name)
+				}
 			}
 			return true
 		})
@@ -87,4 +120,14 @@ func isObsPkg(pkg *types.Package) bool {
 	}
 	path := pkg.Path()
 	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// isFlightPkg reports whether pkg is the flight-recorder package
+// (matched by import-path suffix so testdata fixtures qualify too).
+func isFlightPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "flight" || strings.HasSuffix(path, "/flight")
 }

@@ -1,0 +1,57 @@
+// Package stream is an obsgate fixture for the flight-recorder rules;
+// its import path ends in "stream", making it a hot-layer (write-only)
+// package.
+package stream
+
+import "saiyan/internal/flight"
+
+type S struct {
+	rec *flight.Recorder
+}
+
+//saiyan:hotpath
+func (s *S) hotAppend(w int, epoch, ch, tag int, seq uint64) {
+	// Ring appends and trace derivation are the legal hot-layer verbs.
+	s.rec.Append(w, flight.Span{
+		Trace: flight.TraceID(epoch, ch, tag, seq),
+		Seq:   uint32(seq),
+		Stage: flight.StageDecode,
+	})
+}
+
+func (s *S) anomaly(epoch, ch, tag int, seq uint64, traces []uint64) {
+	// Triggering a black box from the fold is legal: it snapshots the
+	// rings without handing span data back to the caller.
+	s.rec.Trigger(flight.KindDecodeFailure, epoch, ch, tag, seq, traces...)
+}
+
+func (s *S) peek() []flight.Dump {
+	return s.rec.Recent(8) // want `flight.Recent reads recorder state from a hot-layer package`
+}
+
+func (s *S) peekJSON() []byte {
+	return s.rec.RecentJSON(8) // want `flight.RecentJSON reads recorder state from a hot-layer package`
+}
+
+func (s *S) query(trace string) []byte {
+	return s.rec.QueryJSON(trace) // want `flight.QueryJSON reads recorder state from a hot-layer package`
+}
+
+func (s *S) find(trace uint64) []flight.Dump {
+	return s.rec.Find(trace) // want `flight.Find reads recorder state from a hot-layer package`
+}
+
+//lint:allow obsgate debug shell dumps the ring on operator request
+func (s *S) allowedPeek() []flight.Dump {
+	return s.rec.Recent(8)
+}
+
+func (s *S) coldBuild() {
+	// Construction outside a hotpath function is constructor territory.
+	s.rec = flight.New(flight.Options{Shards: 4})
+}
+
+//saiyan:hotpath
+func (s *S) hotBuild() {
+	s.rec = flight.New(flight.Options{}) // want `flight.New constructs a recorder inside a hotpath function`
+}

@@ -18,10 +18,16 @@ type HandlerConfig struct {
 	// epoch loop, so the server caches the latest marshaled bytes).
 	// Returning nil yields a 503 until the first snapshot exists.
 	Snapshot func() []byte
+	// Flight, when set, backs /flight: it receives the request's
+	// ?trace= query value ("" for the recent-anomalies listing) and
+	// returns the flight recorder's JSON rendering. Returning nil
+	// yields a 503 (no recorder attached).
+	Flight func(trace string) []byte
 }
 
 // NewHandler builds the telemetry mux: /metrics (Prometheus text
-// exposition 0.0.4), /healthz, /snapshot (cached JSON), and the
+// exposition 0.0.4), /healthz, /snapshot (cached JSON), /flight (recent
+// anomaly dumps, or one trace's dumps via ?trace=), and the
 // /debug/pprof/* profiling endpoints — on a private mux, so nothing
 // leaks onto http.DefaultServeMux.
 func NewHandler(cfg HandlerConfig) http.Handler {
@@ -47,6 +53,18 @@ func NewHandler(cfg HandlerConfig) http.Handler {
 		}
 		if body == nil {
 			http.Error(w, "no snapshot yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		var body []byte
+		if cfg.Flight != nil {
+			body = cfg.Flight(r.URL.Query().Get("trace"))
+		}
+		if body == nil {
+			http.Error(w, "no flight recorder", http.StatusServiceUnavailable)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

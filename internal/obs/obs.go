@@ -166,6 +166,12 @@ type histShard struct {
 type Histogram struct {
 	bounds []float64 // ascending finite upper bounds
 	shards []histShard
+	// exemplars holds the last flight trace ID observed into each bucket
+	// (len(bounds)+1; 0 = none yet). Last-write-wins across shards: an
+	// exemplar is a breadcrumb from a bucket to one concrete frame's
+	// flight trace, not an aggregate, so a plain atomic store suffices
+	// and the hot path stays zero-alloc.
+	exemplars []atomic.Uint64
 }
 
 // NewHistogram builds a standalone (unregistered) histogram; most callers
@@ -173,8 +179,9 @@ type Histogram struct {
 func NewHistogram(opts HistogramOpts) *Histogram {
 	opts = opts.withDefaults()
 	h := &Histogram{
-		bounds: make([]float64, opts.Buckets),
-		shards: make([]histShard, opts.Shards),
+		bounds:    make([]float64, opts.Buckets),
+		shards:    make([]histShard, opts.Shards),
+		exemplars: make([]atomic.Uint64, opts.Buckets+1),
 	}
 	b := opts.Min
 	for i := range h.bounds {
@@ -195,6 +202,16 @@ func (h *Histogram) Observe(v float64) { h.ObserveShard(0, v) }
 //
 //saiyan:hotpath
 func (h *Histogram) ObserveShard(shard int, v float64) {
+	h.ObserveShardTrace(shard, v, 0)
+}
+
+// ObserveShardTrace records v on the given write shard and, when trace is
+// non-zero, stamps the landing bucket's exemplar with that flight trace
+// ID, so an operator can jump from a bucket to one concrete frame's
+// decision chain. Zero-alloc.
+//
+//saiyan:hotpath
+func (h *Histogram) ObserveShardTrace(shard int, v float64, trace uint64) {
 	if h == nil {
 		return
 	}
@@ -203,8 +220,12 @@ func (h *Histogram) ObserveShard(shard int, v float64) {
 	}
 	s := &h.shards[shard%len(h.shards)]
 	// First bound >= v is exactly Prometheus le semantics.
-	s.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	bucket := sort.SearchFloat64s(h.bounds, v)
+	s.counts[bucket].Add(1)
 	s.count.Add(1)
+	if trace != 0 {
+		h.exemplars[bucket].Store(trace)
+	}
 	for {
 		old := s.sum.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
@@ -216,10 +237,16 @@ func (h *Histogram) ObserveShard(shard int, v float64) {
 
 // ObserveSince records the seconds elapsed since start on the given shard.
 func (h *Histogram) ObserveSince(shard int, start time.Time) {
+	h.ObserveSinceTrace(shard, start, 0)
+}
+
+// ObserveSinceTrace is ObserveSince with a bucket exemplar, like
+// ObserveShardTrace.
+func (h *Histogram) ObserveSinceTrace(shard int, start time.Time, trace uint64) {
 	if h == nil {
 		return
 	}
-	h.ObserveShard(shard, time.Since(start).Seconds())
+	h.ObserveShardTrace(shard, time.Since(start).Seconds(), trace)
 }
 
 // merge folds every shard into one (counts, count, sum) view.
@@ -308,11 +335,64 @@ func (r *Registry) lookup(name, kind string) (*metricEntry, bool) {
 	return e, ok
 }
 
-// register adds a new entry under the lock.
+// register adds a new entry under the lock. Label values are normalized
+// to their escaped exposition form once here, so rendering stays a plain
+// string write.
 func (r *Registry) register(e *metricEntry) {
 	e.base, e.labels = splitName(e.name)
+	e.labels = escapeLabelPairs(e.labels)
 	r.entries = append(r.entries, e)
 	r.byName[e.name] = e
+}
+
+// labelValueEscaper renders a label value onto an exposition line per the
+// text format 0.0.4 rules: backslash, double-quote, and newline must be
+// escaped (unlike HELP text, where quotes are legal).
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelPairs re-renders a raw inline label set (`k="v",k2="v2"`)
+// with every value escaped for text exposition. Values are taken
+// literally: a value's closing quote is the first '"' followed by ',' or
+// end-of-set, so embedded quotes, backslashes, and newlines pass through
+// and come out escaped. Input that does not parse as label pairs is
+// returned unchanged (the historical raw passthrough).
+func escapeLabelPairs(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	var b strings.Builder
+	rest := labels
+	for len(rest) > 0 {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+			return labels
+		}
+		val := rest[eq+2:]
+		// Closing quote: the first '"' that ends the pair (followed by
+		// ',' or nothing).
+		end := -1
+		for i := 0; i < len(val); i++ {
+			if val[i] == '"' && (i == len(val)-1 || val[i+1] == ',') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return labels
+		}
+		b.WriteString(rest[:eq+2])
+		b.WriteString(labelValueEscaper.Replace(val[:end]))
+		b.WriteByte('"')
+		rest = val[end+1:]
+		if len(rest) > 0 {
+			if rest[0] != ',' {
+				return labels
+			}
+			b.WriteByte(',')
+			rest = rest[1:]
+		}
+	}
+	return b.String()
 }
 
 // Counter returns the counter registered under name, creating it on first
@@ -377,6 +457,11 @@ type MetricSnapshot struct {
 	Sum    float64   `json:"sum,omitempty"`
 	Bounds []float64 `json:"bounds,omitempty"`
 	Counts []uint64  `json:"counts,omitempty"`
+	// Exemplars carries the last flight trace ID observed into each
+	// bucket as 16-digit hex ("" for buckets without one); omitted
+	// entirely when no bucket has an exemplar. JSON/snapshot only — the
+	// Prometheus text exposition stays plain "name value" samples.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Mean is a histogram snapshot's average observation (0 when empty).
@@ -406,8 +491,31 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 			m.Count, m.Sum = count, sum
 			m.Bounds = append([]float64(nil), e.h.bounds...)
 			m.Counts = counts
+			m.Exemplars = e.h.exemplarStrings()
 		}
 		out = append(out, m)
+	}
+	return out
+}
+
+// exemplarStrings renders the per-bucket exemplar trace IDs, or nil when
+// no bucket has seen a traced observation.
+func (h *Histogram) exemplarStrings() []string {
+	any := false
+	for i := range h.exemplars {
+		if h.exemplars[i].Load() != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]string, len(h.exemplars))
+	for i := range h.exemplars {
+		if t := h.exemplars[i].Load(); t != 0 {
+			out[i] = fmt.Sprintf("%016x", t)
+		}
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -289,5 +290,151 @@ func TestHTTPHandler(t *testing.T) {
 	}
 	if code, body, _ := get("/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Fatalf("/debug/pprof/cmdline: code=%d", code)
+	}
+}
+
+// TestLabelValueEscaping pins the text-format 0.0.4 escaping rules for
+// inline label values: backslash, double-quote, and newline in a value
+// must come out escaped on the exposition line, while the name under
+// which the series was registered keeps working for lookup.
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []struct {
+		name string // registration name (raw label values)
+		want string // rendered sample line, sans value
+	}{
+		{`saiyan_esc_a_total{path="C:\temp"}`, `saiyan_esc_a_total{path="C:\\temp"}`},
+		{`saiyan_esc_b_total{q="say "hi""}`, `saiyan_esc_b_total{q="say \"hi\""}`},
+		{"saiyan_esc_c_total{msg=\"line1\nline2\"}", `saiyan_esc_c_total{msg="line1\nline2"}`},
+		{`saiyan_esc_d_total{a="x\y",b="p,q"}`, `saiyan_esc_d_total{a="x\\y",b="p,q"}`},
+		// Values that need no escaping pass through untouched.
+		{`saiyan_esc_e_total{op="set_rate"}`, `saiyan_esc_e_total{op="set_rate"}`},
+		// An empty inline label set renders as a bare name, no braces.
+		{`saiyan_esc_f_total{}`, `saiyan_esc_f_total`},
+		// Malformed label text keeps the historical raw passthrough.
+		{`saiyan_esc_g_total{notapair}`, `saiyan_esc_g_total{notapair}`},
+	}
+	r := NewRegistry()
+	for _, c := range cases {
+		r.Counter(c.name, "escaping fixture").Inc()
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, c := range cases {
+		if !strings.Contains(text, c.want+" 1\n") {
+			t.Errorf("registering %q: exposition misses %q:\n%s", c.name, c.want, text)
+		}
+	}
+	// A newline inside a value must never split a sample across lines:
+	// every non-comment line still parses as "series value" (label
+	// values may contain spaces, so match the line shape, not fields).
+	sampleLine := regexp.MustCompile(`^[A-Za-z_:][A-Za-z0-9_:]*(\{.*\})? [^ ]+$`)
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+	// Re-registering under the same raw name must hit the same handle,
+	// not mint an escaped twin.
+	r.Counter(`saiyan_esc_a_total{path="C:\temp"}`, "escaping fixture").Inc()
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), `saiyan_esc_a_total{path="C:\\temp"} 2`+"\n") {
+		t.Errorf("second registration did not reuse the escaped series:\n%s", b2.String())
+	}
+}
+
+// TestExpositionNonFiniteGauges pins how non-finite gauge values render:
+// single tokens (NaN, +Inf, -Inf) that keep every sample line two
+// whitespace-separated fields, the shape CI's smoke check greps for.
+func TestExpositionNonFiniteGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("saiyan_nan_gauge", "not a number").Set(math.NaN())
+	r.Gauge("saiyan_posinf_gauge", "positive infinity").Set(math.Inf(1))
+	r.Gauge("saiyan_neginf_gauge", "negative infinity").Set(math.Inf(-1))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"saiyan_nan_gauge NaN",
+		"saiyan_posinf_gauge +Inf",
+		"saiyan_neginf_gauge -Inf",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition misses %q:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestHistogramExemplars pins the exemplar contract: ObserveShardTrace
+// stamps the landing bucket's exemplar with the last non-zero trace ID,
+// the snapshot renders them as 16-hex-digit strings (omitted entirely
+// when no bucket has one), and the text exposition never mentions them.
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("saiyan_exemplar_seconds", "latency with exemplars",
+		HistogramOpts{Min: 0.001, Growth: 10, Buckets: 3, Shards: 2})
+	plain := r.Histogram("saiyan_plain_seconds", "latency without exemplars",
+		HistogramOpts{Min: 0.001, Growth: 10, Buckets: 3, Shards: 2})
+
+	h.ObserveShardTrace(0, 0.0005, 0xdeadbeef) // first bucket
+	h.ObserveShardTrace(1, 0.0004, 0x1234)     // same bucket: last write wins
+	h.ObserveShardTrace(0, 5, 0xcafe)          // +Inf overflow bucket
+	h.ObserveShardTrace(1, 0.05, 0)            // zero trace: no stamp
+	plain.ObserveShard(0, 0.01)                // exemplar-free twin
+
+	byName := map[string]MetricSnapshot{}
+	for _, m := range r.Snapshot() {
+		byName[m.Name] = m
+	}
+	got := byName["saiyan_exemplar_seconds"].Exemplars
+	want := []string{"0000000000001234", "", "", "000000000000cafe"}
+	if len(got) != len(want) {
+		t.Fatalf("exemplars = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("exemplars[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if ex := byName["saiyan_plain_seconds"].Exemplars; ex != nil {
+		t.Errorf("exemplar-free histogram rendered exemplars %q, want none", ex)
+	}
+	// Exemplars are JSON-only: the text exposition keeps the plain
+	// 0.0.4 format with no trailing exemplar annotations.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if text := b.String(); strings.Contains(text, "1234") && strings.Contains(text, "cafe") {
+		t.Errorf("text exposition leaked exemplar trace IDs:\n%s", text)
+	}
+	// And the snapshot round-trips them through JSON.
+	raw, err := json.Marshal(byName["saiyan_exemplar_seconds"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"exemplars"`) {
+		t.Errorf("marshaled snapshot misses exemplars key: %s", raw)
+	}
+	if raw2, _ := json.Marshal(byName["saiyan_plain_seconds"]); strings.Contains(string(raw2), "exemplars") {
+		t.Errorf("exemplar-free snapshot should omit the key: %s", raw2)
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"saiyan/internal/core"
 	"saiyan/internal/dsp"
+	"saiyan/internal/flight"
 	"saiyan/internal/lora"
 	"saiyan/internal/obs"
 	"saiyan/internal/trace"
@@ -84,6 +85,17 @@ type Config struct {
 	// on or off. Histograms are sharded per worker; the decode hot path
 	// stays zero-alloc.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, receives a decode-stage flight span for every
+	// processed job that carries a trace ID (Job.Trace != 0), and trace
+	// IDs ride into the latency/cycle histogram buckets as exemplars.
+	// Write-only like Metrics: nothing is read back into a decode, so the
+	// symbol stream is identical with the recorder on or off.
+	Flight *flight.Recorder
+	// FlightShard is the recorder shard of worker 0; worker w writes
+	// shard FlightShard+w. Defaults to 1 when Flight is set, leaving
+	// shard 0 to the submission-side segmenter.
+	FlightShard int
 }
 
 // withDefaults fills zero fields and validates.
@@ -111,6 +123,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.CalibrationQuantumDB < 0 {
 		return c, fmt.Errorf("pipeline: calibration quantum %g dB < 0", c.CalibrationQuantumDB)
+	}
+	if c.Flight != nil && c.FlightShard == 0 {
+		c.FlightShard = 1
 	}
 	return c, nil
 }
@@ -156,6 +171,11 @@ type Job struct {
 	// exactly, even when replaying a subset of the original run.
 	NoiseSeeded bool
 	NoiseSeed   uint64
+	// Trace is the frame's flight trace ID (flight.TraceID), stamped by
+	// the submitting layer; 0 means untraced. With Config.Flight set,
+	// the decoding worker appends a decode-stage span under this ID and
+	// feeds it to the histogram exemplars.
+	Trace uint64
 }
 
 // Result is the demodulation outcome of one Job.
@@ -600,6 +620,7 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job, w int)
 	if j.NoiseSeeded {
 		nseed = j.NoiseSeed
 	}
+	var cycles uint64
 	switch {
 	case j.Frame != nil:
 		q := p.quantize(j.RSSDBm)
@@ -611,10 +632,7 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job, w int)
 		rng := dsp.NewRand(p.cfg.Seed, nseed)
 		res.Symbols, res.Detected, res.Err = d.ProcessFrameScratch(j.Frame, j.RSSDBm, rng, sc)
 		p.simSamples.Add(uint64(sc.Rendered))
-		if c := d.TakeFxpCycles(); c != 0 {
-			p.fxpCycles.Add(c)
-			p.met.fxpCycles.ObserveShard(w, float64(c))
-		}
+		cycles = d.TakeFxpCycles()
 	case j.Env != nil:
 		// Stream decode: the envelope already exists; nothing is rendered
 		// and no noise shard is drawn — the capture carries its own noise
@@ -624,15 +642,16 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job, w int)
 			ws.streamD = p.streamBase().Clone()
 		}
 		res.Symbols, res.Detected, res.Err = ws.streamD.DecodeStreamWindow(j.Env, j.EnvC, j.NSymbols, p.cfg.AGC)
-		if c := ws.streamD.TakeFxpCycles(); c != 0 {
-			p.fxpCycles.Add(c)
-			p.met.fxpCycles.ObserveShard(w, float64(c))
-		}
+		cycles = ws.streamD.TakeFxpCycles()
 	default:
 		res.Err = errEmptyJob
 	}
+	if cycles != 0 {
+		p.fxpCycles.Add(cycles)
+		p.met.fxpCycles.ObserveShardTrace(w, float64(cycles), j.Trace)
+	}
 	if p.met.on {
-		p.met.decodeSec.ObserveSince(w, t0)
+		p.met.decodeSec.ObserveSinceTrace(w, t0, j.Trace)
 	}
 	if p.recCh != nil {
 		rec, recErr := p.record(j, res, sc, nseed)
@@ -655,6 +674,20 @@ func (p *Pipeline) process(ws *workerState, sc *core.FrameScratch, j job, w int)
 		if errs == 0 {
 			p.framesCorrect.Add(1)
 		}
+	}
+	if j.Trace != 0 {
+		dec := flight.DecodeOK
+		if res.Err != nil || !res.Detected {
+			dec = flight.DecodeErr
+		}
+		p.cfg.Flight.Append(p.cfg.FlightShard+w, flight.Span{
+			Trace:    j.Trace,
+			Tag:      uint16(j.Tag),
+			Stage:    flight.StageDecode,
+			Decision: dec,
+			A:        float64(res.SymbolErrs),
+			B:        float64(cycles),
+		})
 	}
 	if !p.cfg.DiscardResults {
 		p.results <- res

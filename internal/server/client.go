@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"saiyan/internal/flight"
 	"saiyan/internal/gateway"
 	"saiyan/internal/obs"
 )
@@ -35,6 +36,10 @@ const (
 	// EventObs is the server's per-epoch observability registry dump
 	// (Event.Obs); only servers running with metrics enabled send it.
 	EventObs
+	// EventFlight is one anomaly-triggered flight-recorder black-box
+	// dump (Event.Flight); only servers running with a flight recorder
+	// attached send it.
+	EventFlight
 )
 
 // String names the kind for logs and transcripts.
@@ -54,6 +59,8 @@ func (k EventKind) String() string {
 		return "bye"
 	case EventObs:
 		return "obs"
+	case EventFlight:
+		return "flight"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -67,6 +74,7 @@ type Event struct {
 	Stats    ClientStats
 	Err      string
 	Obs      []obs.MetricSnapshot
+	Flight   flight.Dump
 }
 
 // Client is a protocol client: a subscriber and control handle for one
@@ -144,15 +152,19 @@ func (c *Client) write(typ byte, payload []byte) error {
 }
 
 // Subscribe selects which streams the server sends this client: per-frame
-// decode events, per-epoch metrics, or both. Call it again to change the
-// subscription; false/false mutes the client (control still works).
-func (c *Client) Subscribe(frames, metrics bool) error {
+// decode events, per-epoch metrics, and/or flight anomaly dumps. Call it
+// again to change the subscription; all-false mutes the client (control
+// still works).
+func (c *Client) Subscribe(frames, metrics, flightDumps bool) error {
 	var mask byte
 	if frames {
 		mask |= subFrames
 	}
 	if metrics {
 		mask |= subMetrics
+	}
+	if flightDumps {
+		mask |= subFlight
 	}
 	return c.write(msgSubscribe, []byte{mask})
 }
@@ -237,6 +249,12 @@ func (c *Client) Next() (Event, error) {
 				return Event{}, fmt.Errorf("%w: malformed obs dump: %v", ErrCorrupt, err)
 			}
 			return Event{Kind: EventObs, Obs: dump}, nil
+		case msgFlight:
+			d, err := flight.DecodeDump(payload)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: malformed flight dump: %v", ErrCorrupt, err)
+			}
+			return Event{Kind: EventFlight, Flight: d}, nil
 		case msgClientStats:
 			var st ClientStats
 			if err := json.Unmarshal(payload, &st); err != nil {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"saiyan/internal/flight"
 	"saiyan/internal/gateway"
 	"saiyan/internal/obs"
 )
@@ -66,6 +67,14 @@ type Config struct {
 	// caller typically shares one registry between the gateway and the
 	// server so the dump covers every layer.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, enables the flight wire stream: every
+	// anomaly-triggered black-box dump is encoded once and fanned out to
+	// flight subscribers as a 0x18 message, and the frame fanout itself
+	// appends fanout-stage spans into the recorder. Pass the same
+	// recorder the gateway runs with (gateway.Config.Flight) so wire
+	// dumps and /flight reads see one ring set.
+	Flight *flight.Recorder
 
 	// tuneConn, when set, adjusts each accepted connection before the
 	// handshake. Test hook: shrinking socket buffers makes a non-reading
@@ -138,6 +147,7 @@ type client struct {
 
 	subFrames  atomic.Bool
 	subMetrics atomic.Bool
+	subFlight  atomic.Bool
 
 	// frames and metrics carry fully framed messages; the epoch loop
 	// enqueues without ever blocking (drop-and-count on a full queue) and
@@ -294,6 +304,10 @@ func (s *Server) Serve(ctx context.Context) error {
 	g := s.cfg.Gateway
 	g.SetFrameHook(s.onFrame)
 	defer g.SetFrameHook(nil)
+	if rec := s.cfg.Flight; rec != nil {
+		rec.SetHook(s.onDump)
+		defer rec.SetHook(nil)
+	}
 
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -437,6 +451,7 @@ func (s *Server) readLoop(c *client) {
 			}
 			c.subFrames.Store(mask&subFrames != 0)
 			c.subMetrics.Store(mask&subMetrics != 0)
+			c.subFlight.Store(mask&subFlight != 0)
 		case msgPause, msgResume, msgCaptureStop:
 			s.enqueue(controlOp{from: c, typ: typ})
 		case msgRateOverride:
@@ -588,6 +603,7 @@ func (s *Server) onFrame(ev gateway.FrameEvent) {
 		s.capture.Write(ev)
 	}
 	var msg []byte
+	reached, dropped := 0, 0
 	s.mu.Lock()
 	for c := range s.clients {
 		if !c.subFrames.Load() {
@@ -596,7 +612,48 @@ func (s *Server) onFrame(ev gateway.FrameEvent) {
 		if msg == nil {
 			msg = appendMsg(nil, msgFrame, encodeFrameEvent(make([]byte, 0, frameEventBytes), ev))
 		}
+		before := c.framesDropped.Load()
 		s.send(c, c.frames, msg, &c.framesSent, &c.framesDropped)
+		if c.framesDropped.Load() > before {
+			dropped++
+		} else {
+			reached++
+		}
+	}
+	s.mu.Unlock()
+	if rec := s.cfg.Flight; rec != nil {
+		// Same goroutine as the gateway's fold, so the control-plane
+		// shard 0 stays single-writer.
+		dec := flight.FrameSent
+		if dropped > 0 {
+			dec = flight.FrameDropped
+		}
+		rec.Append(0, flight.Span{
+			Trace: flight.TraceID(ev.Epoch, ev.Channel, ev.Tag, ev.Seq),
+			Seq:   uint32(ev.Seq), Epoch: uint32(ev.Epoch),
+			Tag: uint16(ev.Tag), Channel: uint16(ev.Channel),
+			Stage: flight.StageFanout, Decision: dec,
+			A: float64(reached), B: float64(dropped),
+		})
+	}
+}
+
+// onDump is the flight recorder's trigger hook: it streams one black-box
+// dump to every flight subscriber. It runs synchronously on the
+// epoch-loop goroutine (inside the gateway's fold/control), so it never
+// blocks — the bounded metrics queue's drop policy applies. The dump is
+// encoded once and the bytes shared across clients, like every fanout.
+func (s *Server) onDump(d flight.Dump) {
+	var msg []byte
+	s.mu.Lock()
+	for c := range s.clients {
+		if !c.subFlight.Load() {
+			continue
+		}
+		if msg == nil {
+			msg = appendMsg(nil, msgFlight, flight.EncodeDump(nil, d))
+		}
+		s.send(c, c.metrics, msg, &c.metricsSent, &c.metricsDropped)
 	}
 	s.mu.Unlock()
 }

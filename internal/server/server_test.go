@@ -83,7 +83,7 @@ func TestServeBackpressureAndChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fast.Close()
-	if err := fast.Subscribe(true, true); err != nil {
+	if err := fast.Subscribe(true, true, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -101,7 +101,7 @@ func TestServeBackpressureAndChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer slow.Close()
-	if err := slow.Subscribe(true, true); err != nil {
+	if err := slow.Subscribe(true, true, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -139,7 +139,7 @@ func TestServeBackpressureAndChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := churn.Subscribe(true, true); err != nil {
+	if err := churn.Subscribe(true, true, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := churn.Next(); err != nil {
@@ -222,7 +222,7 @@ func TestSnapshotDeterministicAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Subscribe(false, true); err != nil {
+		if err := c.Subscribe(false, true, false); err != nil {
 			t.Fatal(err)
 		}
 		var last []byte
@@ -284,7 +284,7 @@ func TestControlPlaneAndCapture(t *testing.T) {
 	if h := c.Hello(); h.Protocol != Version || h.Channels != 2 {
 		t.Fatalf("hello: %+v", h)
 	}
-	if err := c.Subscribe(false, true); err != nil {
+	if err := c.Subscribe(false, true, false); err != nil {
 		t.Fatal(err)
 	}
 	capPath := filepath.Join(capDir, "frames.cap")
@@ -377,7 +377,7 @@ func TestCaptureAccessPolicy(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer c.Close()
-		if err := c.Subscribe(false, true); err != nil {
+		if err := c.Subscribe(false, true, false); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range paths {

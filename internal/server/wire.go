@@ -4,11 +4,15 @@
 // operator control plane (pause/resume, rate override, channel-plan swap,
 // frame-capture start/stop) on the same wire.
 //
-// # Protocol (version 2)
+// # Protocol (version 3)
 //
 // Version 2 is version 1 plus the 0x17 obs message: a per-epoch metrics
 // dump from the server's observability registry (internal/obs), sent to
 // metrics subscribers of servers running with observability enabled.
+// Version 3 adds the flight subscription bit (4) and the 0x18 flight
+// message: a black-box anomaly dump from the gateway's flight recorder
+// (internal/flight), streamed to flight subscribers of servers running
+// with a recorder attached.
 //
 // Both directions open with a 12-byte prelude and then exchange CRC-framed
 // messages, reusing the chunk idiom of internal/trace:
@@ -20,7 +24,8 @@
 // All integers are little-endian; the CRC-32 (IEEE) covers the type byte,
 // the length field, and the payload. Client-to-server message types:
 //
-//	0x01 subscribe    — u8 bitmask: 1 = frame events, 2 = epoch metrics
+//	0x01 subscribe    — u8 bitmask: 1 = frame events, 2 = epoch metrics,
+//	                    4 = flight anomaly dumps
 //	0x02 pause        — empty; epoch loop idles until resume
 //	0x03 resume       — empty
 //	0x04 rateOverride — tag(i32, <0 = all) k(u8): force downlink rate
@@ -47,6 +52,11 @@
 //	0x17 obs          — JSON []obs.MetricSnapshot: the server's
 //	                    observability registry dump, once per served epoch;
 //	                    only sent by servers with Config.Metrics set
+//	0x18 flight       — one binary flight.Dump (flight's own chunk-framed
+//	                    encoding, see flight.EncodeDump), sent to flight
+//	                    subscribers whenever an anomaly triggers a
+//	                    black-box dump; only sent by servers with
+//	                    Config.Flight set
 //
 // Control messages are fire-and-forget: they are queued and applied by the
 // epoch loop at the next epoch boundary, so they serialize with serving and
@@ -71,7 +81,7 @@ import (
 )
 
 // Version is the wire protocol version this package speaks.
-const Version = 2
+const Version = 3
 
 // wireMagic opens every protocol stream (and every capture file).
 const wireMagic = "SAIYWIR\x00"
@@ -97,12 +107,14 @@ const (
 	msgError       = 0x15
 	msgBye         = 0x16
 	msgObs         = 0x17
+	msgFlight      = 0x18
 )
 
 // Subscription bits carried by msgSubscribe.
 const (
 	subFrames  = 1 << 0
 	subMetrics = 1 << 1
+	subFlight  = 1 << 2
 )
 
 // maxMsgBytes bounds a single message payload (16 MiB). Protocol messages

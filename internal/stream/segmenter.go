@@ -19,6 +19,7 @@ import (
 
 	"saiyan/internal/core"
 	"saiyan/internal/dsp"
+	"saiyan/internal/flight"
 	"saiyan/internal/lora"
 	"saiyan/internal/obs"
 )
@@ -49,6 +50,21 @@ type Config struct {
 	// cross-chunk pending carries. Write-only; segmentation decisions
 	// never read them back.
 	Metrics *obs.Registry
+
+	// Flight, when non-nil, receives a segment-stage flight span for
+	// every matched window, and matched jobs leave the source stamped
+	// with their trace ID. Write-only, like Metrics: segmentation never
+	// reads the recorder back.
+	Flight *flight.Recorder
+	// FlightShard is the recorder shard the segmenter writes
+	// (segmentation runs on the submission goroutine, so the gateway
+	// hands every segmenter the control-plane shard 0).
+	FlightShard int
+	// FlightEpoch and FlightChannel locate this capture in the
+	// deployment schedule; together with (tag, seq) they derive each
+	// frame's trace ID. Standalone captures leave them zero.
+	FlightEpoch   int
+	FlightChannel int
 }
 
 // withDefaults fills zero fields and validates.

@@ -4,16 +4,19 @@ import (
 	"context"
 	"io"
 
+	"saiyan/internal/flight"
 	"saiyan/internal/pipeline"
 	"saiyan/internal/sim"
 )
 
 // Matcher resolves an extracted window back to scheduled ground truth: it
 // receives the window's absolute start sample and returns the transmitting
-// tag and the transmitted payload, or ok=false for a window with no known
-// schedule entry (a false detection, or truth simply unavailable — live
-// captures have none).
-type Matcher func(startSamp int64) (tag int, want []int, ok bool)
+// tag, the frame's sequence number, and the transmitted payload, or
+// ok=false for a window with no known schedule entry (a false detection,
+// or truth simply unavailable — live captures have none). The sequence
+// number also keys the frame's flight trace ID, so matched windows carry
+// their trace from segmentation onward.
+type Matcher func(startSamp int64) (tag int, seq uint64, want []int, ok bool)
 
 // Source adapts a chunked capture to the pipeline's pull interface: each
 // Next call pushes capture chunks through the Segmenter until a frame
@@ -32,16 +35,32 @@ type Source struct {
 }
 
 // NewSource builds a pipeline source over pre-cut capture chunks. match may
-// be nil (no ground truth: every job is submitted unchecked).
+// be nil (no ground truth: every job is submitted unchecked). When
+// cfg.Flight is set, every matched window is stamped with its trace ID and
+// a segment-stage span lands in the recorder before the job is queued.
 func NewSource(cfg Config, chunks []sim.Chunk, match Matcher) (*Source, error) {
 	s := &Source{chunks: chunks, match: match}
 	seg, err := NewSegmenter(cfg, func(w Window) error {
 		j := pipeline.Job{Tag: -1, Env: w.Env, EnvC: w.EnvC, NSymbols: w.NSymbols}
 		if s.match != nil {
-			if tag, want, ok := s.match(w.Start); ok {
+			if tag, seq, want, ok := s.match(w.Start); ok {
 				j.Tag = tag
 				j.Want = want
 				s.matched++
+				if cfg.Flight != nil {
+					j.Trace = flight.TraceID(cfg.FlightEpoch, cfg.FlightChannel, tag, seq)
+					cfg.Flight.Append(cfg.FlightShard, flight.Span{
+						Trace:    j.Trace,
+						Seq:      uint32(seq),
+						Epoch:    uint32(cfg.FlightEpoch),
+						Tag:      uint16(tag),
+						Channel:  uint16(cfg.FlightChannel),
+						Stage:    flight.StageSegment,
+						Decision: flight.WindowMatched,
+						A:        cfg.HuntRSSDBm,
+						B:        float64(w.Start),
+					})
+				}
 			}
 		}
 		s.queue = append(s.queue, j)
@@ -129,14 +148,14 @@ func (s Stats) SamplesPerSec() float64 {
 // event goes through unchecked instead of double-counting ground truth.
 func SimMatcher(capture *sim.Stream) Matcher {
 	claimed := make([]bool, len(capture.Events))
-	return func(startSamp int64) (int, []int, bool) {
+	return func(startSamp int64) (int, uint64, []int, bool) {
 		idx, ok := capture.Match(startSamp)
 		if !ok || claimed[idx] {
-			return 0, nil, false
+			return 0, 0, nil, false
 		}
 		claimed[idx] = true
 		ev := capture.Events[idx]
-		return ev.Tag, ev.Want, true
+		return ev.Tag, ev.Seq, ev.Want, true
 	}
 }
 

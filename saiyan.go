@@ -11,6 +11,7 @@ import (
 	"saiyan/internal/dsp"
 	"saiyan/internal/energy"
 	"saiyan/internal/experiments"
+	"saiyan/internal/flight"
 	"saiyan/internal/fxp"
 	"saiyan/internal/gateway"
 	"saiyan/internal/lora"
@@ -476,6 +477,9 @@ const (
 	// ServerEventObs is the per-epoch observability registry dump, sent
 	// only by servers running with ServerConfig.Metrics set.
 	ServerEventObs = server.EventObs
+	// ServerEventFlight is one anomaly-triggered flight-recorder dump,
+	// sent only by servers running with ServerConfig.Flight set.
+	ServerEventFlight = server.EventFlight
 )
 
 // ServerProtocolVersion is the wire protocol version this build speaks.
@@ -541,9 +545,60 @@ type (
 func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 
 // NewObsHandler builds the HTTP telemetry mux: /metrics (Prometheus text
-// exposition 0.0.4), /healthz, /snapshot (cached JSON), and
-// /debug/pprof/*. This is what `saiyan serve -http` mounts.
+// exposition 0.0.4), /healthz, /snapshot (cached JSON), /flight (recent
+// anomaly dumps, or one trace via ?trace=), and /debug/pprof/*. This is
+// what `saiyan serve -http` mounts.
 func NewObsHandler(cfg ObsHandlerConfig) http.Handler { return obs.NewHandler(cfg) }
+
+// Flight recorder types (internal/flight): the per-frame black box. Hot
+// layers append fixed-size decision spans into per-worker ring buffers;
+// anomalies (decode failures, dedup misses, retransmissions, hops, PRR
+// collapses, operator actions) snapshot the rings into bounded dumps.
+// Trace IDs derive purely from (epoch, channel, tag, seq), so dumps are
+// byte-identical at any worker count. Hand one recorder to
+// GatewayConfig.Flight and ServerConfig.Flight; read it back through
+// the /flight telemetry endpoint, the flight wire message, or `saiyan
+// watch -flight`. A nil *FlightRecorder is valid everywhere and
+// disables recording, like a nil ObsRegistry.
+type (
+	// FlightRecorder is the sharded span ring set; build with
+	// NewFlightRecorder.
+	FlightRecorder = flight.Recorder
+	// FlightOptions sizes a recorder (shards, ring capacity, dump
+	// retention). Zero value: every field defaults.
+	FlightOptions = flight.Options
+	// FlightSpan is one fixed-size decision record.
+	FlightSpan = flight.Span
+	// FlightDump is one anomaly-triggered black-box dump.
+	FlightDump = flight.Dump
+	// FlightStage locates a span in the receive path (segment, decode,
+	// fold, control, fanout).
+	FlightStage = flight.Stage
+	// FlightDecision is the decision a span records.
+	FlightDecision = flight.Decision
+	// FlightKind is the anomaly class that triggered a dump.
+	FlightKind = flight.Kind
+)
+
+// NewFlightRecorder builds a flight recorder. The gateway needs at least
+// Workers+1 shards: shard 0 for its control-plane goroutine, one per
+// pipeline worker above that.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder { return flight.New(opts) }
+
+// FlightTraceID derives the deterministic trace ID of one scheduled
+// frame — a pure function of its deployment coordinates, never wall
+// clock or randomness, and never zero.
+func FlightTraceID(epoch, channel, tag int, seq uint64) uint64 {
+	return flight.TraceID(epoch, channel, tag, seq)
+}
+
+// FormatFlightTrace renders a trace ID the way /flight and the watch
+// transcript print them (16 hex digits).
+func FormatFlightTrace(trace uint64) string { return flight.FormatTrace(trace) }
+
+// ParseFlightTrace parses a trace ID as printed by FormatFlightTrace
+// (an optional 0x prefix is accepted).
+func ParseFlightTrace(s string) (uint64, bool) { return flight.ParseTrace(s) }
 
 // Experiment harness types.
 type (

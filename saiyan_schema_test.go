@@ -180,8 +180,9 @@ func TestMetricSnapshotSchema(t *testing.T) {
 		Name: "saiyan_pipeline_decode_seconds", Kind: "histogram",
 		Value: 1, Count: 3, Sum: 0.5,
 		Bounds: []float64{0.001, 0.002}, Counts: []uint64{1, 1, 1},
+		Exemplars: []string{"00000000deadbeef", "", ""},
 	}
-	wantKeys(t, m, []string{"name", "kind", "value", "count", "sum", "bounds", "counts"})
+	wantKeys(t, m, []string{"name", "kind", "value", "count", "sum", "bounds", "counts", "exemplars"})
 	var back saiyan.MetricSnapshot
 	roundTrip(t, m, &back)
 }
