@@ -21,7 +21,7 @@ bench:
 # One pattern rule cuts every benchmark family's artifact from the same
 # bench.txt: BENCH_pipeline.json carries the full run, the named families
 # filter by benchmark name prefix. Adding a family is one variable line.
-BENCH_FAMILIES        = pipeline stream gateway fxp flight
+BENCH_FAMILIES        = pipeline stream gateway fxp flight health
 BENCH_FILTER_pipeline = Benchmark
 BENCH_FILTER_stream   = BenchmarkStream
 BENCH_FILTER_gateway  = BenchmarkGateway
@@ -33,6 +33,10 @@ BENCH_FILTER_fxp      = BenchmarkFxp
 # and allocs/op columns must stay identical (the ring append path is
 # zero-alloc, pinned by TestFlightRecorderAllocNeutral).
 BENCH_FILTER_flight   = BenchmarkFlight
+# BENCH_health.json carries the link-health plane's cost twins: the
+# store-level BenchmarkHealthOn/Off pair (identical 0 allocs/op — the
+# plane's marginal epoch cost) plus the gateway-loop throughput context.
+BENCH_FILTER_health   = BenchmarkHealth
 
 # Redirect instead of piping through tee so a bench failure stops make.
 # -benchmem keeps B/op and allocs/op in the archived JSON, which is what

@@ -437,6 +437,59 @@ func BenchmarkFlightOn4Workers4Tags(b *testing.B)   { benchFlightPipeline(b, 4, 
 func BenchmarkFlightOff8Workers32Tags(b *testing.B) { benchFlightPipeline(b, 8, 32, false) }
 func BenchmarkFlightOn8Workers32Tags(b *testing.B)  { benchFlightPipeline(b, 8, 32, true) }
 
+// benchHealthGateway runs the closed-loop gateway epoch loop with or
+// without a link-health store attached — whole-system throughput
+// context for the health plane. The rule set is evaluated every epoch
+// but can never fire, keeping the rare transition path (which may
+// allocate) out of the measurement. The epoch loop itself carries a few
+// mallocs of goroutine/GC jitter per run, so the strict alloc-identity
+// bar lives where it is deterministic: the store-level
+// BenchmarkHealthOn/Off twins in internal/health report identical
+// 0 allocs/op, and the health package's zero-alloc tests pin the
+// append and seal paths.
+func benchHealthGateway(b *testing.B, workers int, withHealth bool) {
+	b.Helper()
+	cfg := saiyan.DefaultGatewayConfig()
+	cfg.Seed = 7
+	cfg.Workers = workers
+	cfg.Channels = 2
+	cfg.Tags = 8
+	cfg.FramesPerTag = 2
+	if withHealth {
+		st, err := saiyan.NewHealthStore(saiyan.HealthOptions{Rules: []saiyan.HealthRule{
+			{Name: "never", Series: "gateway.frames_scheduled", Kind: saiyan.HealthKindThreshold,
+				Op: saiyan.HealthOpAbove, Threshold: 1e18},
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Health = st
+	}
+	g, err := saiyan.NewGateway(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.Run(context.Background(), 6); err != nil { // warm to steady state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RunEpoch(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if snap := g.Snapshot(); snap.FramesScheduled == 0 {
+		b.Fatal("benchmark scheduled no frames")
+	}
+}
+
+func BenchmarkHealthOff1Worker(b *testing.B)  { benchHealthGateway(b, 1, false) }
+func BenchmarkHealthOn1Worker(b *testing.B)   { benchHealthGateway(b, 1, true) }
+func BenchmarkHealthOff4Workers(b *testing.B) { benchHealthGateway(b, 4, false) }
+func BenchmarkHealthOn4Workers(b *testing.B)  { benchHealthGateway(b, 4, true) }
+
 // TestFlightRecorderAllocNeutral asserts the recorder-on pipeline
 // workload allocates exactly as much as the recorder-off twin: attaching
 // a flight recorder may not cost the decode hot path a single

@@ -88,7 +88,21 @@ func TestRunCompareExitCodes(t *testing.T) {
 	if code := runCompare([]string{oldPath, badPath, "-threshold", "nope"}); code != 1 {
 		t.Errorf("bad threshold exited %d, want 1", code)
 	}
-	if code := runCompare([]string{filepath.Join(dir, "absent.json"), okPath}); code != 1 {
-		t.Errorf("unreadable file exited %d, want 1", code)
+	// A missing OLD baseline is the bootstrap state of a brand-new
+	// benchmark family: an explicit skip, not a failure.
+	if code := runCompare([]string{filepath.Join(dir, "absent.json"), okPath}); code != 0 {
+		t.Errorf("missing baseline exited %d, want 0 (explicit skip)", code)
+	}
+	// A missing NEW report is still a broken invocation.
+	if code := runCompare([]string{oldPath, filepath.Join(dir, "absent.json")}); code != 1 {
+		t.Errorf("missing current report exited %d, want 1", code)
+	}
+	// A present-but-corrupt OLD baseline is damage, not bootstrap.
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runCompare([]string{corrupt, okPath}); code != 1 {
+		t.Errorf("corrupt baseline exited %d, want 1", code)
 	}
 }

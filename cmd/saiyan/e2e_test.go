@@ -88,7 +88,7 @@ func TestServeWatchE2E(t *testing.T) {
 		t.Fatalf("slow client dial: %v", err)
 	}
 	defer slow.Close()
-	if err := slow.Subscribe(true, true, false); err != nil {
+	if err := slow.Subscribe(true, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	type slowResult struct {
@@ -125,7 +125,7 @@ func TestServeWatchE2E(t *testing.T) {
 	if err != nil {
 		t.Fatalf("churn client dial: %v", err)
 	}
-	if err := churn.Subscribe(true, true, false); err != nil {
+	if err := churn.Subscribe(true, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := churn.Next(); err != nil {
@@ -166,5 +166,113 @@ func TestServeWatchE2E(t *testing.T) {
 
 	if !strings.Contains(serveRest.String(), fmt.Sprintf("epochs=%d", epochs)) {
 		t.Errorf("serve final snapshot misses epochs=%d:\n%s", epochs, serveRest.String())
+	}
+}
+
+// TestHealthCLIE2E smokes the link-health plane through the real binary:
+// `serve -listen -http` with the default mid-run degradation, a
+// `watch -health` subscriber reading deltas off the wire, and the
+// `health` subcommand scraping /health + /timeseries until the stock
+// prr-degraded rule fires.
+func TestHealthCLIE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e smoke builds and runs the binary; skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	bin := filepath.Join(t.TempDir(), "saiyan")
+	build := exec.CommandContext(ctx, "go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	const epochs = 12
+	serve := exec.CommandContext(ctx, bin, "serve",
+		"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+		"-epochs", fmt.Sprint(epochs), "-tags", "4", "-frames", "2",
+		"-workers", "2", "-gap", "400ms")
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	serveExited := make(chan error, 1)
+
+	// The daemon prints the wire address first, then the telemetry URL.
+	sc := bufio.NewScanner(stdout)
+	var wireAddr, httpURL string
+	// Check-before-Scan: the daemon prints nothing between its address
+	// lines and the final snapshot, so one extra Scan here would block
+	// until shutdown.
+	for httpURL == "" && sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "serving on ") {
+			wireAddr = strings.Fields(strings.TrimPrefix(line, "serving on "))[0]
+		}
+		if strings.HasPrefix(line, "telemetry on ") {
+			httpURL = strings.Fields(strings.TrimPrefix(line, "telemetry on "))[0]
+		}
+	}
+	if wireAddr == "" || httpURL == "" {
+		t.Fatalf("serve never printed its addresses (wire=%q http=%q): %v", wireAddr, httpURL, sc.Err())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+		serveExited <- serve.Wait()
+	}()
+
+	// Wire-plane subscriber: watch -health only, leaving after a few
+	// epoch reports would never fire (metrics carries the reports), so
+	// ride until the server's bye.
+	watch := exec.CommandContext(ctx, bin, "watch", "-frames=false", "-metrics=false", "-health", wireAddr)
+	watchOut := make(chan string, 1)
+	go func() {
+		out, err := watch.CombinedOutput()
+		if err != nil {
+			watchOut <- fmt.Sprintf("WATCH-ERROR %v\n%s", err, out)
+			return
+		}
+		watchOut <- string(out)
+	}()
+
+	// HTTP-plane scrape: poll the health subcommand until the stock
+	// prr-degraded rule shows up firing (the default -degrade 2:0:12 jam
+	// drives channel 0's PRR under the windowed-mean threshold).
+	deadline := time.Now().Add(90 * time.Second)
+	var lastReport string
+	for {
+		out, err := exec.CommandContext(ctx, bin, "health", httpURL).CombinedOutput()
+		lastReport = string(out)
+		if err == nil && strings.Contains(lastReport, "prr-degraded") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health subcommand never reported prr-degraded; last output:\n%s", lastReport)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	if !strings.ContainsAny(lastReport, "▁▂▃▄▅▆▇█") {
+		t.Errorf("health report has no sparkline:\n%s", lastReport)
+	}
+	if !strings.Contains(lastReport, "channel.0.prr") {
+		t.Errorf("health report misses the channel.0.prr series:\n%s", lastReport)
+	}
+
+	if err := <-serveExited; err != nil {
+		t.Fatalf("serve exited with %v", err)
+	}
+	transcript := <-watchOut
+	if strings.HasPrefix(transcript, "WATCH-ERROR") {
+		t.Fatalf("watch -health failed:\n%s", transcript)
+	}
+	if !strings.Contains(transcript, "health: epoch") {
+		t.Errorf("watch -health transcript carries no health deltas:\n%s", transcript)
+	}
+	if !strings.Contains(transcript, "prr-degraded") {
+		t.Errorf("watch -health transcript misses the firing alert:\n%s", transcript)
 	}
 }

@@ -1,0 +1,203 @@
+package main
+
+// `saiyan health` is the link-health plane's terminal face: it queries a
+// serving gateway's telemetry endpoints (/health and /timeseries, the
+// ones `serve -http` mounts) and renders rollup sparklines per series
+// plus the active-alert table. It is a pure HTTP client — no wire
+// protocol connection — so it works against any telemetry address,
+// including one scraped mid-run.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"saiyan"
+)
+
+// sparkRunes is the 8-level sparkline alphabet, lowest first.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as one fixed-width sparkline row, scaled to
+// the slice's own min..max (a flat series renders as all-low). Only the
+// last width values are shown.
+func sparkline(values []float64, width int) string {
+	if len(values) > width {
+		values = values[len(values)-width:]
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// healthGet fetches one telemetry path and decodes its JSON body.
+func healthGet(client *http.Client, base, path string, v any) error {
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, v)
+}
+
+// runHealth renders a one-shot link-health report from a serving
+// gateway's telemetry plane.
+func runHealth(args []string, _ *globals) error {
+	fs := flag.NewFlagSet("health", flag.ContinueOnError)
+	series := fs.String("series", "", "render only series whose name contains this substring ('' = all)")
+	tier := fs.Int("tier", 0, "rollup tier to render (0 = raw epochs)")
+	width := fs.Int("width", 48, "sparkline width in cells")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one telemetry base URL (e.g. http://127.0.0.1:9090), got %d arguments", fs.NArg())
+	}
+	if *tier < 0 {
+		return fmt.Errorf("-tier %d < 0", *tier)
+	}
+	if *width < 1 {
+		return fmt.Errorf("-width %d < 1", *width)
+	}
+	base := strings.TrimSuffix(fs.Arg(0), "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// The /health summary: counts, active alerts, journal.
+	var doc struct {
+		Epoch   int                  `json:"epoch"`
+		Sealed  bool                 `json:"sealed"`
+		Rules   int                  `json:"rules"`
+		Series  int                  `json:"series"`
+		Firing  int                  `json:"firing"`
+		Active  []saiyan.HealthAlert `json:"active"`
+		Journal []saiyan.HealthAlert `json:"journal"`
+	}
+	if err := healthGet(client, base, "/health", &doc); err != nil {
+		return err
+	}
+	if !doc.Sealed {
+		fmt.Printf("health @ %s: no epoch sealed yet (%d rules, %d series)\n", base, doc.Rules, doc.Series)
+		return nil
+	}
+	fmt.Printf("health @ %s: epoch %d, %d rules over %d series, %d alert(s) firing\n",
+		base, doc.Epoch, doc.Rules, doc.Series, doc.Firing)
+
+	// The series listing, then one sparkline per (matching) series.
+	var listing struct {
+		Series []struct {
+			Name   string  `json:"name"`
+			Tiers  int     `json:"tiers"`
+			Points uint64  `json:"points"`
+			Last   float64 `json:"last"`
+		} `json:"series"`
+	}
+	if err := healthGet(client, base, "/timeseries", &listing); err != nil {
+		return err
+	}
+	fmt.Println()
+	shown := 0
+	for _, info := range listing.Series {
+		if *series != "" && !strings.Contains(info.Name, *series) {
+			continue
+		}
+		if *tier >= info.Tiers {
+			continue
+		}
+		var ts struct {
+			Bins []struct {
+				Epoch uint32  `json:"epoch"`
+				Min   float64 `json:"min"`
+				Max   float64 `json:"max"`
+				Mean  float64 `json:"mean"`
+			} `json:"bins"`
+		}
+		path := fmt.Sprintf("/timeseries?series=%s&tier=%d", info.Name, *tier)
+		if err := healthGet(client, base, path, &ts); err != nil {
+			return err
+		}
+		means := make([]float64, len(ts.Bins))
+		lo, hi := 0.0, 0.0
+		for i, b := range ts.Bins {
+			means[i] = b.Mean
+			if i == 0 {
+				lo, hi = b.Min, b.Max
+			} else {
+				if b.Min < lo {
+					lo = b.Min
+				}
+				if b.Max > hi {
+					hi = b.Max
+				}
+			}
+		}
+		fmt.Printf("  %-28s %s  last=%.4g min=%.4g max=%.4g (%d bins)\n",
+			info.Name, sparkline(means, *width), info.Last, lo, hi, len(ts.Bins))
+		shown++
+	}
+	if shown == 0 {
+		if *series != "" {
+			fmt.Printf("  no series matching %q at tier %d\n", *series, *tier)
+		} else {
+			fmt.Printf("  no series at tier %d\n", *tier)
+		}
+	}
+
+	// The active-alert table, then the most recent journal transitions.
+	fmt.Println()
+	if len(doc.Active) == 0 {
+		fmt.Println("active alerts: none")
+	} else {
+		fmt.Println("active alerts:")
+		fmt.Printf("  %-16s %-18s %-24s %10s %10s %6s\n", "ID", "RULE", "SERIES", "VALUE", "THRESHOLD", "SINCE")
+		for _, a := range doc.Active {
+			fmt.Printf("  %-16s %-18s %-24s %10.4g %10.4g %6d\n",
+				a.ID, a.Rule, a.Series, a.Value, a.Threshold, a.SinceEpoch)
+		}
+	}
+	if n := len(doc.Journal); n > 0 {
+		const tail = 8
+		start := 0
+		if n > tail {
+			start = n - tail
+		}
+		fmt.Printf("journal (last %d of %d):\n", n-start, n)
+		for _, a := range doc.Journal[start:] {
+			fmt.Printf("  epoch %3d %-8s %-18s %-24s value=%.4g\n",
+				a.Epoch, a.State, a.Rule, a.Series, a.Value)
+		}
+	}
+	return nil
+}

@@ -23,14 +23,21 @@
 //	saiyan serve -http HOST:PORT    also expose the telemetry plane:
 //	                                /metrics (Prometheus text), /healthz,
 //	                                /snapshot, /flight (anomaly black
-//	                                boxes), /debug/pprof/ (combines with
-//	                                -listen or the local epoch loop)
-//	saiyan watch [-frames -metrics -flight -n N -rate T:K -rebalance] HOST:PORT
+//	                                boxes), /health + /timeseries (the
+//	                                link-health plane), /debug/pprof/
+//	                                (combines with -listen or the local
+//	                                epoch loop)
+//	saiyan watch [-frames -metrics -flight -health -n N -rate T:K -rebalance] HOST:PORT
 //	                                subscribe to a serving gateway and print
 //	                                the live frame/metrics transcript (plus
 //	                                the per-epoch obs dump when the server
-//	                                runs with -http, and flight-recorder
-//	                                anomaly dumps with -flight)
+//	                                runs with -http, flight-recorder anomaly
+//	                                dumps with -flight, and link-health
+//	                                deltas with -health)
+//	saiyan health [-series S -tier T -width W] http://HOST:PORT
+//	                                query a serving gateway's telemetry
+//	                                plane: rollup sparklines per series and
+//	                                the active-alert table
 //	saiyan fxp [-tags M -frames F -workers N -adcbits B]
 //	                                float vs fixed-point (MCU) datapath:
 //	                                parity, speed, cycle/energy budget
@@ -90,6 +97,7 @@ var subcommands = []subcommand{
 	{"stream", "demodulate a continuous multi-tag capture from raw samples", runStream},
 	{"serve", "closed-loop gateway: sessions, link adaptation, multi-channel ingest; -listen serves the wire protocol", runServe},
 	{"watch", "subscribe to a serving gateway and print its live transcript", runWatch},
+	{"health", "query a serving gateway's link-health plane: sparklines + active alerts", runHealth},
 	{"fxp", "compare the float and fixed-point (MCU) datapaths: parity, speed, cycle budget", runFxp},
 }
 
@@ -558,12 +566,26 @@ func runServe(args []string, g *globals) error {
 		cfg.Flight = rec
 	}
 
+	// ... and the link-health plane with the stock SLO rules: the
+	// gateway samples its per-channel/per-rate series into the store at
+	// every epoch boundary, /health and /timeseries read it back, and
+	// (with -listen) health subscribers stream the per-epoch deltas.
+	var hs *saiyan.HealthStore
+	if *httpAddr != "" || *listen != "" {
+		var err error
+		hs, err = saiyan.NewHealthStore(saiyan.HealthOptions{Rules: saiyan.DefaultHealthRules()})
+		if err != nil {
+			return err
+		}
+		cfg.Health = hs
+	}
+
 	gw, err := saiyan.NewGateway(cfg)
 	if err != nil {
 		return err
 	}
 	if *listen != "" {
-		return serveDaemon(gw, *listen, *epochs, *gap, *captureDir, reg, *httpAddr, rec)
+		return serveDaemon(gw, *listen, *epochs, *gap, *captureDir, reg, *httpAddr, rec, hs)
 	}
 	fmt.Printf("serve: %d channels, %d tags (join/%d leave/%d), %d epochs\n",
 		*channels, g.tags, *join, *leave, *epochs)
@@ -572,12 +594,12 @@ func runServe(args []string, g *globals) error {
 		ln, err := serveTelemetry(*httpAddr, reg, func() []byte {
 			b, _ := snapCache.Load().([]byte)
 			return b
-		}, rec)
+		}, rec, hs)
 		if err != nil {
 			return err
 		}
 		defer ln.Close()
-		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /flight /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /flight /health /timeseries /debug/pprof/)\n", ln.Addr())
 	}
 	for i := 0; i < *epochs; i++ {
 		rep, err := gw.RunEpoch(context.Background())

@@ -24,11 +24,12 @@ import (
 )
 
 // serveTelemetry binds httpAddr and serves the observability plane
-// (/metrics, /healthz, /snapshot, /flight, /debug/pprof/) in the
-// background until the returned listener is closed. snapshot feeds
-// /snapshot and may return nil while no epoch has completed yet; rec
-// feeds /flight and may be nil (the endpoint then answers 503).
-func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []byte, rec *saiyan.FlightRecorder) (net.Listener, error) {
+// (/metrics, /healthz, /snapshot, /flight, /health, /timeseries,
+// /debug/pprof/) in the background until the returned listener is
+// closed. snapshot feeds /snapshot and may return nil while no epoch
+// has completed yet; rec feeds /flight and hs feeds /health and
+// /timeseries — either may be nil (those endpoints then answer 503).
+func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []byte, rec *saiyan.FlightRecorder, hs *saiyan.HealthStore) (net.Listener, error) {
 	ln, err := net.Listen("tcp", httpAddr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry listen: %w", err)
@@ -42,6 +43,12 @@ func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []
 			return rec.RecentJSON(16)
 		}
 	}
+	if hs != nil {
+		hcfg.HealthPlane = hs.HealthJSON
+		hcfg.Timeseries = func(series string, tier int) []byte {
+			return hs.TimeseriesJSON(series, tier)
+		}
+	}
 	h := saiyan.NewObsHandler(hcfg)
 	go http.Serve(ln, h) //nolint:errcheck // ends when ln closes
 	return ln, nil
@@ -52,7 +59,7 @@ func serveTelemetry(httpAddr string, reg *saiyan.ObsRegistry, snapshot func() []
 // printed on the first stdout line so callers that asked for port 0 can
 // find the server; the telemetry address (when -http is set) is printed on
 // a later line, never the first.
-func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration, captureDir string, reg *saiyan.ObsRegistry, httpAddr string, rec *saiyan.FlightRecorder) error {
+func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duration, captureDir string, reg *saiyan.ObsRegistry, httpAddr string, rec *saiyan.FlightRecorder, hs *saiyan.HealthStore) error {
 	srv, err := saiyan.NewServer(saiyan.ServerConfig{
 		Gateway:    gw,
 		Addr:       listen,
@@ -61,6 +68,7 @@ func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duratio
 		CaptureDir: captureDir,
 		Metrics:    reg,
 		Flight:     rec,
+		Health:     hs,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "saiyan: serve: "+format+"\n", args...)
 		},
@@ -73,13 +81,13 @@ func serveDaemon(gw *saiyan.Gateway, listen string, epochs int, gap time.Duratio
 	fmt.Printf("serving on %s (protocol v%d, epochs=%d); watch with 'saiyan watch %s'\n",
 		srv.Addr(), saiyan.ServerProtocolVersion, epochs, srv.Addr())
 	if reg != nil {
-		ln, err := serveTelemetry(httpAddr, reg, srv.SnapshotJSON, rec)
+		ln, err := serveTelemetry(httpAddr, reg, srv.SnapshotJSON, rec, hs)
 		if err != nil {
 			srv.Close()
 			return err
 		}
 		defer ln.Close()
-		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /flight /debug/pprof/)\n", ln.Addr())
+		fmt.Printf("telemetry on http://%s (/metrics /healthz /snapshot /flight /health /timeseries /debug/pprof/)\n", ln.Addr())
 	}
 	if err := srv.Serve(ctx); err != nil {
 		return err
@@ -113,6 +121,7 @@ func runWatch(args []string, _ *globals) error {
 	frames := fs.Bool("frames", true, "subscribe to per-frame decode events")
 	metrics := fs.Bool("metrics", true, "subscribe to per-epoch metrics")
 	flightDumps := fs.Bool("flight", false, "subscribe to flight-recorder anomaly dumps (decision chains)")
+	healthDeltas := fs.Bool("health", false, "subscribe to link-health deltas (series points + SLO alerts)")
 	n := fs.Int("n", 0, "leave after N epoch reports (0 = stay until the server says bye)")
 	rate := fs.String("rate", "", "send a one-shot rate override as tag:k (tag -1 = all tags)")
 	rebalance := fs.Bool("rebalance", false, "ask the server to rebalance tags across channels once")
@@ -131,7 +140,7 @@ func runWatch(args []string, _ *globals) error {
 	h := c.Hello()
 	fmt.Printf("connected to %s: protocol v%d, %d channels, %d tags active, %d epochs served\n",
 		fs.Arg(0), h.Protocol, h.Channels, h.TagsActive, h.Epochs)
-	if err := c.Subscribe(*frames, *metrics, *flightDumps); err != nil {
+	if err := c.Subscribe(*frames, *metrics, *flightDumps, *healthDeltas); err != nil {
 		return err
 	}
 	if *rate != "" {
@@ -180,6 +189,8 @@ func runWatch(args []string, _ *globals) error {
 			printObsDump(ev.Obs)
 		case saiyan.ServerEventFlight:
 			printFlightDump(ev.Flight)
+		case saiyan.ServerEventHealth:
+			printHealthDelta(ev.Health)
 		case saiyan.ServerEventStats:
 			st := ev.Stats
 			fmt.Printf("you: epoch %d frames %d sent/%d dropped, metrics %d sent/%d dropped\n",
@@ -221,6 +232,24 @@ func printFlightDump(d saiyan.FlightDump) {
 			last = s.Trace
 		}
 		fmt.Printf("    %-7s %-14s a=%.4g b=%.4g\n", s.Stage, s.Decision, s.A, s.B)
+	}
+}
+
+// printHealthDelta renders one link-health delta (sent only by servers
+// running with a health store): a summary line, alert transitions, and
+// the per-channel series points.
+func printHealthDelta(d saiyan.HealthDelta) {
+	fmt.Printf("health: epoch %d, %d points, %d alert transition(s)\n",
+		d.Epoch, len(d.Points), len(d.Alerts))
+	for _, a := range d.Alerts {
+		fmt.Printf("  alert %s %s: rule=%s series=%s value=%.4g threshold=%.4g since=%d\n",
+			a.ID, a.State, a.Rule, a.Series, a.Value, a.Threshold, a.SinceEpoch)
+		for _, tr := range a.Traces {
+			fmt.Printf("    exemplar trace %s\n", tr)
+		}
+	}
+	for _, p := range d.Points {
+		fmt.Printf("  %-28s %.6g\n", p.Series, p.Value)
 	}
 }
 

@@ -156,7 +156,7 @@
 //	go srv.Serve(ctx)                        // cancel ctx to stop early
 //
 //	c, _ := saiyan.DialServer(srv.Addr().String())
-//	c.Subscribe(true, true, false)           // frame events + epoch metrics, no flight dumps
+//	c.Subscribe(true, true, false, false)           // frame events + epoch metrics; no flight dumps or health deltas
 //	c.OverrideRate(-1, 3)                    // control: force K=3 on every tag
 //	for {
 //		ev, err := c.Next()                  // ServerEventFrame, -Epoch, -Snapshot, ...
@@ -223,6 +223,22 @@
 // any worker count. Histogram buckets carry the last landing trace ID as
 // an exemplar (JSON snapshots only), linking a latency outlier back to
 // one concrete frame's chain.
+//
+// The third plane is link health (internal/health): an RRD-style
+// time-series store — per-epoch bins folding into fixed-size 8x and 64x
+// ring tiers, so memory never grows with uptime — plus a declarative SLO
+// rules engine (threshold, window-mean, consecutive-breach, burn-rate)
+// and an alert journal. Build one with NewHealthStore (seed the rules
+// with DefaultHealthRules or your own []HealthRule) and hand it to
+// GatewayConfig.Health and ServerConfig.Health. The gateway appends its
+// series and seals the epoch at the tail of each epoch, on the epoch
+// goroutine, from deterministic schedule state only; alert IDs are pure
+// hashes of (rule, series, epoch) and firing alerts carry flight-trace
+// exemplars, so rollups, journals, and deltas are byte-identical at any
+// worker count. The plane surfaces on the /health and /timeseries
+// endpoints (ObsHandlerConfig), as 0x19 wire deltas to subscribers that
+// set the fourth Subscribe argument (ServerEventHealth), and through
+// `saiyan watch -health` and the `saiyan health` sparkline view.
 //
 // # Fixed-point MCU datapath
 //

@@ -71,7 +71,7 @@ func main() {
 		log.Fatalf("dialing: %v", err)
 	}
 	defer c.Close()
-	if err := c.Subscribe(true, true, false); err != nil {
+	if err := c.Subscribe(true, true, false, false); err != nil {
 		log.Fatalf("subscribing: %v", err)
 	}
 

@@ -230,13 +230,31 @@ func FormatTrace(trace uint64) string {
 }
 
 // ParseTrace parses FormatTrace output (with or without a 0x prefix).
+// The grammar is exactly what FormatTrace emits: 16 hex digits, no
+// more, no fewer. Short, long, signed, or underscore-grouped forms are
+// rejected rather than leniently widened — a truncated trace ID pasted
+// from a log should fail loudly, not silently query the wrong frame.
 func ParseTrace(s string) (uint64, bool) {
 	if len(s) > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
 		s = s[2:]
 	}
-	v, err := strconv.ParseUint(s, 16, 64)
-	if err != nil {
+	if len(s) != 16 {
 		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		var d uint64
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
 	}
 	return v, true
 }

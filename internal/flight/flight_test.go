@@ -56,6 +56,50 @@ func TestFormatParseTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseTraceStrictGrammar pins the exact grammar: 16 hex digits
+// after an optional 0x prefix, nothing else. Lenient widening (short
+// IDs, sign characters, underscore grouping — all of which
+// strconv.ParseUint would accept) must be rejected, because a trace ID
+// mangled in transit should fail the query, not hit a different frame.
+func TestParseTraceStrictGrammar(t *testing.T) {
+	accept := []string{
+		"0123456789abcdef",
+		"0123456789ABCDEF",
+		"0x0123456789abcdef",
+		"0Xfedcba9876543210",
+		"0000000000000000", // zero parses; it is only unreachable as an ID
+	}
+	for _, s := range accept {
+		if _, ok := ParseTrace(s); !ok {
+			t.Errorf("ParseTrace(%q) rejected a well-formed trace", s)
+		}
+	}
+	reject := []string{
+		"",
+		"0x",
+		"deadbeef",            // 8 digits: truncated paste
+		"0123456789abcde",     // 15 digits
+		"0123456789abcdef0",   // 17 digits
+		"0x123456789abcdef",   // 15 after prefix
+		"0x0123456789abcdef0", // 17 after prefix
+		" 0123456789abcdef",   // leading space
+		"0123456789abcdef ",   // trailing space
+		"0123456789abcdeg",    // non-hex digit
+		"0123_4567_89ab_cdef", // underscore grouping
+		"+123456789abcdef0",   // sign
+		"-123456789abcdef0",   // sign
+		"0x0x123456789abcde",  // double prefix
+		"00x0123456789abcdef", // misplaced prefix
+		"0123456789abcdef\n",  // trailing newline from a log paste
+		"٠123456789abcdef",    // non-ASCII digit
+	}
+	for _, s := range reject {
+		if v, ok := ParseTrace(s); ok {
+			t.Errorf("ParseTrace(%q) = %x, want rejection", s, v)
+		}
+	}
+}
+
 func TestNilRecorderNoops(t *testing.T) {
 	var r *Recorder
 	r.Append(0, Span{Trace: 1})
@@ -255,6 +299,54 @@ func TestDecodeDumpCorruption(t *testing.T) {
 	bad[8] = 0xEE // version field
 	if _, err := DecodeDump(bad); !errors.Is(err, ErrVersion) {
 		t.Errorf("version: err = %v, want ErrVersion", err)
+	}
+}
+
+// TestDecodeDumpTruncationEveryPrefix feeds DecodeDump every strict
+// prefix of a well-formed dump. All of them must error: the prelude
+// check catches short buffers, the chunk framing catches mid-chunk
+// cuts, and the mandatory trailer catches cuts at chunk boundaries —
+// there is no prefix length at which a partial dump passes for a
+// complete one.
+func TestDecodeDumpTruncationEveryPrefix(t *testing.T) {
+	d := Dump{
+		ID: 2, Kind: KindDecodeFailure, Epoch: 3, Channel: 1, Tag: 9,
+		Traces: []uint64{TraceID(3, 1, 9, 0)},
+		Spans: []Span{
+			{Trace: TraceID(3, 1, 9, 0), Stage: StageFold, Decision: Missing},
+			{Trace: TraceID(3, 1, 9, 0), Stage: StageControl, Decision: Hop},
+		},
+	}
+	good := EncodeDump(nil, d)
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeDump(good[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrCorrupt", n, len(good), err)
+		}
+	}
+}
+
+// TestDecodeDumpSingleBitFlips flips every bit of a well-formed dump,
+// one at a time. Each flip must surface as an error — magic and version
+// damage through the prelude checks, everything else through the
+// per-chunk CRC — so no single-bit transport fault can silently change
+// what a black box says happened.
+func TestDecodeDumpSingleBitFlips(t *testing.T) {
+	d := Dump{
+		ID: 4, Kind: KindPRRCollapse, Epoch: 11, Channel: 0, Tag: 2, Seq: 5,
+		Traces: []uint64{TraceID(11, 0, 2, 5)},
+		Spans:  []Span{{Trace: TraceID(11, 0, 2, 5), Stage: StageDecode, Decision: DecodeErr, A: -2.5}},
+	}
+	good := EncodeDump(nil, d)
+	flipped := append([]byte(nil), good...)
+	for i := range good {
+		for bit := 0; bit < 8; bit++ {
+			flipped[i] ^= 1 << bit
+			_, err := DecodeDump(flipped)
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Fatalf("flip byte %d bit %d: err = %v, want ErrCorrupt or ErrVersion", i, bit, err)
+			}
+			flipped[i] ^= 1 << bit
+		}
 	}
 }
 

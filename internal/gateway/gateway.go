@@ -36,6 +36,7 @@ import (
 	"saiyan/internal/core"
 	"saiyan/internal/dsp"
 	"saiyan/internal/flight"
+	"saiyan/internal/health"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
 	"saiyan/internal/obs"
@@ -154,6 +155,21 @@ type Config struct {
 	// recorder needs at least Workers+1 shards: shard 0 is the gateway's
 	// control-plane goroutine, shards 1..Workers belong to the pipeline.
 	Flight *flight.Recorder
+
+	// Health, when non-nil, is the link-health plane: at the end of every
+	// epoch the gateway appends its longitudinal series — per-channel
+	// PRR/SNR/occupancy, per-rate frame counts, delivery ratio, fxp
+	// cycles — and seals the epoch, which evaluates the store's SLO rules
+	// and journals alert transitions. Write-only like Metrics and Flight:
+	// no control decision ever reads the store, appends happen in
+	// schedule order on the epoch goroutine, and the series values derive
+	// only from deterministic state — so rollups, journals, and wire
+	// deltas are byte-identical at any worker count with metrics on or
+	// off (pinned by TestHealthDeterminism). The wire server may add its
+	// own telemetry-grade series (fanout drops) on top; those mirror
+	// client behaviour and are excluded from the determinism bar the way
+	// EpochReport.Elapsed is.
+	Health *health.Store
 }
 
 // DefaultConfig returns a 2-channel, 8-tag gateway over the paper's
@@ -298,6 +314,10 @@ type Gateway struct {
 	// met is the registered observability series; nil (all methods no-op)
 	// when Config.Metrics is unset.
 	met *gatewayObs
+
+	// health is the registered link-health series; nil (all methods
+	// no-op) when Config.Health is unset.
+	health *gatewayHealth
 }
 
 // FrameEvent is the per-frame slice of one epoch: the decode outcome of a
@@ -378,6 +398,7 @@ func New(cfg Config) (*Gateway, error) {
 		atten:        make([]float64, cfg.Channels),
 		chanNoise:    make([]noiseStats, cfg.Channels),
 		met:          newGatewayObs(cfg.Metrics),
+		health:       newGatewayHealth(cfg.Health, cfg.Channels, cfg.Adapter.MinK, cfg.Adapter.MaxK),
 	}
 	// Initial placement is sim.NewTagSet's geometric spacing (one source of
 	// truth); channels are dealt round-robin.
@@ -584,6 +605,10 @@ func (g *Gateway) RunEpoch(ctx context.Context) (EpochReport, error) {
 		rep.Retransmits += len(grp.tl.Retransmits)
 		rep.WindowsEmitted += grp.windows
 	}
+	// Health-plane epoch boundary: append this epoch's series in schedule
+	// order and seal, which runs the SLO rules and journals transitions.
+	// Runs after the report is final so scalar series mirror it exactly.
+	g.health.observe(g, plan, rep)
 	g.elapsed += rep.Elapsed
 	return rep, nil
 }

@@ -1,0 +1,76 @@
+package health
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The On/Off twins price one epoch of the health plane exactly as the
+// gateway drives it: the full gateway-shaped series mix (six scalars,
+// three series per channel, one per rate) appended and the epoch sealed
+// with a rule sweep. Off is the disabled plane — a nil store, whose nil
+// handles every layer holds when Config.Health is unset — so the twins
+// measure the true marginal cost. Both sides run at zero allocs/op: the
+// Off path no-ops, and the On path's rings, accumulators, and delta
+// buffers are preallocated (pinned by TestSealZeroAllocSteadyState).
+
+// benchSeries resolves the gateway's series set against st (nil for the
+// Off twin: every handle is a nil no-op).
+func benchSeries(st *Store) []*Series {
+	names := []string{
+		"gateway.delivery_ratio", "gateway.frames_scheduled",
+		"gateway.fresh_delivered", "gateway.retransmits",
+		"gateway.tags_active", "gateway.fxp_cycles",
+	}
+	for ch := 0; ch < 2; ch++ {
+		names = append(names,
+			fmt.Sprintf("channel.%d.prr", ch),
+			fmt.Sprintf("channel.%d.snr", ch),
+			fmt.Sprintf("channel.%d.occupancy", ch))
+	}
+	for k := 1; k <= 3; k++ {
+		names = append(names, fmt.Sprintf("rate.%d.frames", k))
+	}
+	handles := make([]*Series, len(names))
+	for i, n := range names {
+		handles[i] = st.Series(n)
+	}
+	return handles
+}
+
+func benchHealthEpoch(b *testing.B, st *Store) {
+	handles := benchSeries(st)
+	step := func(epoch int) {
+		for i, se := range handles {
+			se.Append(epoch, float64(i)+0.5)
+		}
+		st.EndEpoch(epoch)
+	}
+	for e := 0; e < 16; e++ { // warm rollup accumulators and delta buffers
+		step(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(16 + i)
+	}
+}
+
+// BenchmarkHealthOff is the disabled plane: nil store, nil handles.
+func BenchmarkHealthOff(b *testing.B) { benchHealthEpoch(b, nil) }
+
+// BenchmarkHealthOn is the live plane with the stock rule shapes
+// evaluated every epoch (thresholds pinned so no transition ever fires —
+// transitions are rare and may allocate; the epoch path may not).
+func BenchmarkHealthOn(b *testing.B) {
+	st, err := New(Options{Rules: []Rule{
+		{Name: "prr-degraded", Series: "channel.*.prr", Kind: KindWindowMean, Op: OpBelow, Threshold: -1, Window: 4},
+		{Name: "snr-floor", Series: "channel.*.snr", Kind: KindConsecutiveBreach, Op: OpBelow, Threshold: -1, Consecutive: 3},
+		{Name: "delivery-burn", Series: "gateway.delivery_ratio", Kind: KindBurnRate, Threshold: 1e18, Target: 0.95, Window: 8},
+		{Name: "retx-storm", Series: "gateway.retransmits", Kind: KindThreshold, Op: OpAbove, Threshold: 1e18},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchHealthEpoch(b, st)
+}

@@ -37,6 +37,7 @@ var (
 var fixtureDeps = []string{
 	"context", "errors", "fmt", "math/rand", "sort", "time",
 	"saiyan/internal/obs", "saiyan/internal/flight",
+	"saiyan/internal/health",
 }
 
 func fixtureImporter(t *testing.T) types.Importer {
@@ -204,6 +205,10 @@ func TestObsGateTelemetryPlane(t *testing.T) {
 
 func TestObsGateFlight(t *testing.T) {
 	runFixture(t, lint.ByName("obsgate"), "saiyanvet.example/stream", "flightgate")
+}
+
+func TestObsGateHealth(t *testing.T) {
+	runFixture(t, lint.ByName("obsgate"), "saiyanvet.example/core", "healthgate")
 }
 
 func TestCtxFirst(t *testing.T) {

@@ -49,16 +49,40 @@ var flightConstructFuncs = map[string]bool{
 	"New": true,
 }
 
+// healthReadMethods are the internal/health APIs that read rollup rings,
+// the alert journal, or render a JSON plane. Every one takes the store
+// mutex and most allocate result slices or documents; they serve the
+// telemetry plane (/health, /timeseries, the 0x19 wire fanout), never
+// the layers that feed the rollups. Append/AppendTrace/EndEpoch stay
+// legal everywhere — that IS the hot-layer contract.
+var healthReadMethods = map[string]bool{
+	"HealthJSON":     true,
+	"TimeseriesJSON": true,
+	"DeltaJSON":      true,
+	"ActiveAlerts":   true,
+	"Journal":        true,
+	"SeriesNames":    true,
+	"Bins":           true,
+}
+
+// healthConstructFuncs build store state or resolve series handles under
+// the registry lock; they belong in constructors, never inside
+// //saiyan:hotpath bodies (handles are resolved once and kept).
+var healthConstructFuncs = map[string]bool{
+	"New":    true,
+	"Series": true,
+}
+
 // ObsGate keeps instrumentation one-directional: hot-layer packages (the
-// snapshot set) may only write to internal/obs handles and internal/flight
-// rings, and hotpath functions may not register or construct
-// metrics/recorders per call. Together with the nil-safe handle design (a
-// nil *Counter/*Gauge/*Histogram/*flight.Recorder is a no-op) this is what
-// lets the same binary run fully instrumented or fully dark with identical
-// outputs.
+// snapshot set) may only write to internal/obs handles, internal/flight
+// rings, and internal/health rollups, and hotpath functions may not
+// register or construct metrics/recorders/stores per call. Together with
+// the nil-safe handle design (a nil *Counter/*Gauge/*Histogram/
+// *flight.Recorder/*health.Series is a no-op) this is what lets the same
+// binary run fully instrumented or fully dark with identical outputs.
 var ObsGate = &Analyzer{
 	Name: "obsgate",
-	Doc:  "keeps internal/obs and internal/flight write-only from hot layers and registration out of hotpath functions",
+	Doc:  "keeps internal/obs, internal/flight, and internal/health write-only from hot layers and registration out of hotpath functions",
 	Run:  runObsGate,
 }
 
@@ -105,6 +129,17 @@ func runObsGate(p *Pass) error {
 					p.Reportf(call.Pos(),
 						"flight.%s constructs a recorder inside a hotpath function: it allocates the ring shards; build the recorder once at startup", name)
 				}
+			case isHealthPkg(fn.Pkg()):
+				if hotLayer && healthReadMethods[name] {
+					p.Reportf(call.Pos(),
+						"health.%s reads rollup/journal state from a hot-layer package: the health store is append-only here; reads belong to the telemetry plane", name)
+					return true
+				}
+				fd := enclosingFuncDecl(stack)
+				if fd != nil && HasDirective(fd, "hotpath") && healthConstructFuncs[name] {
+					p.Reportf(call.Pos(),
+						"health.%s constructs store state inside a hotpath function: it takes the store lock and may allocate; resolve handles once in the constructor", name)
+				}
 			}
 			return true
 		})
@@ -130,4 +165,14 @@ func isFlightPkg(pkg *types.Package) bool {
 	}
 	path := pkg.Path()
 	return path == "flight" || strings.HasSuffix(path, "/flight")
+}
+
+// isHealthPkg reports whether pkg is the link-health package (matched by
+// import-path suffix so testdata fixtures qualify too).
+func isHealthPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "health" || strings.HasSuffix(path, "/health")
 }

@@ -10,6 +10,7 @@ import (
 
 	"saiyan/internal/flight"
 	"saiyan/internal/gateway"
+	"saiyan/internal/health"
 	"saiyan/internal/obs"
 )
 
@@ -40,6 +41,10 @@ const (
 	// dump (Event.Flight); only servers running with a flight recorder
 	// attached send it.
 	EventFlight
+	// EventHealth is the link-health plane's per-epoch delta — raw
+	// series points plus SLO alert transitions (Event.Health); only
+	// servers running with a health store attached send it.
+	EventHealth
 )
 
 // String names the kind for logs and transcripts.
@@ -61,6 +66,8 @@ func (k EventKind) String() string {
 		return "obs"
 	case EventFlight:
 		return "flight"
+	case EventHealth:
+		return "health"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -75,6 +82,7 @@ type Event struct {
 	Err      string
 	Obs      []obs.MetricSnapshot
 	Flight   flight.Dump
+	Health   health.Delta
 }
 
 // Client is a protocol client: a subscriber and control handle for one
@@ -152,10 +160,10 @@ func (c *Client) write(typ byte, payload []byte) error {
 }
 
 // Subscribe selects which streams the server sends this client: per-frame
-// decode events, per-epoch metrics, and/or flight anomaly dumps. Call it
-// again to change the subscription; all-false mutes the client (control
-// still works).
-func (c *Client) Subscribe(frames, metrics, flightDumps bool) error {
+// decode events, per-epoch metrics, flight anomaly dumps, and/or link-health
+// deltas. Call it again to change the subscription; all-false mutes the
+// client (control still works).
+func (c *Client) Subscribe(frames, metrics, flightDumps, healthDeltas bool) error {
 	var mask byte
 	if frames {
 		mask |= subFrames
@@ -165,6 +173,9 @@ func (c *Client) Subscribe(frames, metrics, flightDumps bool) error {
 	}
 	if flightDumps {
 		mask |= subFlight
+	}
+	if healthDeltas {
+		mask |= subHealth
 	}
 	return c.write(msgSubscribe, []byte{mask})
 }
@@ -255,6 +266,12 @@ func (c *Client) Next() (Event, error) {
 				return Event{}, fmt.Errorf("%w: malformed flight dump: %v", ErrCorrupt, err)
 			}
 			return Event{Kind: EventFlight, Flight: d}, nil
+		case msgHealth:
+			var d health.Delta
+			if err := json.Unmarshal(payload, &d); err != nil {
+				return Event{}, fmt.Errorf("%w: malformed health delta: %v", ErrCorrupt, err)
+			}
+			return Event{Kind: EventHealth, Health: d}, nil
 		case msgClientStats:
 			var st ClientStats
 			if err := json.Unmarshal(payload, &st); err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"saiyan/internal/flight"
 	"saiyan/internal/gateway"
+	"saiyan/internal/health"
 	"saiyan/internal/obs"
 )
 
@@ -75,6 +76,19 @@ type Config struct {
 	// recorder the gateway runs with (gateway.Config.Flight) so wire
 	// dumps and /flight reads see one ring set.
 	Flight *flight.Recorder
+
+	// Health, when non-nil, enables the health wire stream: after every
+	// served epoch the store's sealed Delta — raw series points plus SLO
+	// alert transitions — is marshaled once and fanned out to health
+	// subscribers as a 0x19 message. Pass the same store the gateway runs
+	// with (gateway.Config.Health) so wire deltas and the /health and
+	// /timeseries endpoints see one rollup set. The server also samples
+	// its own fanout-drop total into the "server.fanout_drops" series at
+	// each epoch boundary; being appended after the gateway's seal, those
+	// points ride the *next* epoch's delta, and — mirroring client
+	// behaviour — they are telemetry-grade, excluded from the plane's
+	// determinism bar the way EpochReport.Elapsed is.
+	Health *health.Store
 
 	// tuneConn, when set, adjusts each accepted connection before the
 	// handshake. Test hook: shrinking socket buffers makes a non-reading
@@ -148,6 +162,7 @@ type client struct {
 	subFrames  atomic.Bool
 	subMetrics atomic.Bool
 	subFlight  atomic.Bool
+	subHealth  atomic.Bool
 
 	// frames and metrics carry fully framed messages; the epoch loop
 	// enqueues without ever blocking (drop-and-count on a full queue) and
@@ -219,6 +234,13 @@ type Server struct {
 	// nil-safe no-ops when Config.Metrics is unset.
 	met serverObs
 
+	// healthDrops mirrors the fanout-drop total into the health plane
+	// (nil no-op handle when Config.Health is unset); fanoutDrops is the
+	// plain counter behind it, kept separate from obs so the series
+	// exists with metrics off.
+	healthDrops *health.Series
+	fanoutDrops atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -263,6 +285,7 @@ func New(cfg Config) (*Server, error) {
 		control: make(chan controlOp, 64),
 		met:     newServerObs(cfg.Metrics),
 	}
+	s.healthDrops = cfg.Health.Series("server.fanout_drops")
 	snap := cfg.Gateway.Snapshot()
 	s.hello = Hello{
 		Protocol:   Version,
@@ -452,6 +475,7 @@ func (s *Server) readLoop(c *client) {
 			c.subFrames.Store(mask&subFrames != 0)
 			c.subMetrics.Store(mask&subMetrics != 0)
 			c.subFlight.Store(mask&subFlight != 0)
+			c.subHealth.Store(mask&subHealth != 0)
 		case msgPause, msgResume, msgCaptureStop:
 			s.enqueue(controlOp{from: c, typ: typ})
 		case msgRateOverride:
@@ -515,6 +539,7 @@ func (s *Server) send(c *client, queue chan []byte, msg []byte, sent, dropped *a
 		s.met.queueHWM.SetMax(float64(backlog))
 	default:
 		dropped.Add(1)
+		s.fanoutDrops.Add(1)
 		s.met.drops.Inc()
 	}
 }
@@ -659,12 +684,22 @@ func (s *Server) onDump(d flight.Dump) {
 }
 
 // publishEpoch fans out the per-epoch metrics: the epoch report, a full
-// snapshot, and (with observability enabled) the obs registry dump to
-// every metrics subscriber, then each client's own delivery stats. The
+// snapshot, (with observability enabled) the obs registry dump, and
+// (with a health store attached) the sealed health delta — to every
+// matching subscriber, then each client's own delivery stats. The
 // marshaled snapshot is also cached for out-of-band readers
 // (SnapshotJSON).
 func (s *Server) publishEpoch(rep gateway.EpochReport) {
 	snap := s.cfg.Gateway.Snapshot()
+	var healthMsg []byte
+	if s.cfg.Health != nil {
+		// Sample the fanout-drop total first: the gateway already sealed
+		// this epoch, so the point lands in the next delta (documented
+		// one-epoch lag for server-plane series), then marshal the delta
+		// the seal built — these bytes are the 0x19 payload.
+		s.healthDrops.Append(rep.Epoch, float64(s.fanoutDrops.Load()))
+		healthMsg = appendMsg(nil, msgHealth, s.cfg.Health.DeltaJSON())
+	}
 	repJSON, err := json.Marshal(rep)
 	if err != nil {
 		s.cfg.Logf("server: epoch report marshal: %v", err)
@@ -695,6 +730,9 @@ func (s *Server) publishEpoch(rep gateway.EpochReport) {
 		Channels:   len(snap.Channels),
 	}
 	for c := range s.clients {
+		if healthMsg != nil && c.subHealth.Load() {
+			s.send(c, c.metrics, healthMsg, &c.metricsSent, &c.metricsDropped)
+		}
 		if !c.subMetrics.Load() {
 			continue
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"saiyan/internal/gateway"
+	"saiyan/internal/health"
 )
 
 const testSeed = 20220404
@@ -83,7 +84,7 @@ func TestServeBackpressureAndChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fast.Close()
-	if err := fast.Subscribe(true, true, false); err != nil {
+	if err := fast.Subscribe(true, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -101,7 +102,7 @@ func TestServeBackpressureAndChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer slow.Close()
-	if err := slow.Subscribe(true, true, false); err != nil {
+	if err := slow.Subscribe(true, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -139,7 +140,7 @@ func TestServeBackpressureAndChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := churn.Subscribe(true, true, false); err != nil {
+	if err := churn.Subscribe(true, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := churn.Next(); err != nil {
@@ -222,7 +223,7 @@ func TestSnapshotDeterministicAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := c.Subscribe(false, true, false); err != nil {
+		if err := c.Subscribe(false, true, false, false); err != nil {
 			t.Fatal(err)
 		}
 		var last []byte
@@ -284,7 +285,7 @@ func TestControlPlaneAndCapture(t *testing.T) {
 	if h := c.Hello(); h.Protocol != Version || h.Channels != 2 {
 		t.Fatalf("hello: %+v", h)
 	}
-	if err := c.Subscribe(false, true, false); err != nil {
+	if err := c.Subscribe(false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	capPath := filepath.Join(capDir, "frames.cap")
@@ -377,7 +378,7 @@ func TestCaptureAccessPolicy(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer c.Close()
-		if err := c.Subscribe(false, true, false); err != nil {
+		if err := c.Subscribe(false, true, false, false); err != nil {
 			t.Fatal(err)
 		}
 		for _, p := range paths {
@@ -506,6 +507,115 @@ func TestServeErrorFarewell(t *testing.T) {
 	}
 	peer.Close()
 	s.wg.Wait()
+}
+
+// TestHealthStreamOverWire runs a server with a health store attached and
+// checks the 0x19 plane end to end: a subscriber with the health bit set
+// receives per-epoch deltas carrying the gateway's series points, alert
+// transitions arrive on the same stream, and the server's own
+// fanout-drops series is registered in the store.
+func TestHealthStreamOverWire(t *testing.T) {
+	const epochs = 6
+	st, err := health.New(health.Options{Rules: []health.Rule{
+		// Guaranteed to fire, but not until epoch 3: every epoch of this
+		// deployment schedules frames, so the breach streak builds from
+		// epoch 0 and the transition lands after the subscription is up.
+		{Name: "always", Series: "gateway.frames_scheduled", Kind: health.KindConsecutiveBreach,
+			Op: health.OpAbove, Threshold: 0, Consecutive: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := gateway.DefaultConfig()
+	gcfg.Seed = testSeed
+	gcfg.Workers = 2
+	gcfg.Channels = 2
+	gcfg.Tags = 5
+	gcfg.FramesPerTag = 2
+	gcfg.Health = st
+	g, err := gateway.New(gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Gateway: g, Epochs: epochs, EpochGap: 20 * time.Millisecond, Health: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background()) }()
+
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Subscribe(false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	deltas := 0
+	pointsSeen := false
+	alertSeen := false
+	for {
+		ev, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == EventBye {
+			break
+		}
+		if ev.Kind != EventHealth {
+			t.Fatalf("unexpected event on a health-only subscription: %v", ev.Kind)
+		}
+		deltas++
+		if len(ev.Health.Points) > 0 {
+			pointsSeen = true
+			for _, p := range ev.Health.Points {
+				if p.Series == "server.fanout_drops" {
+					// The server samples its drop counter after the
+					// gateway seals the epoch, so the point rides the
+					// next delta: documented one-epoch lag.
+					if p.Epoch != ev.Health.Epoch-1 {
+						t.Errorf("server.fanout_drops labeled epoch %d inside delta for epoch %d; want the one-epoch lag",
+							p.Epoch, ev.Health.Epoch)
+					}
+					continue
+				}
+				if p.Epoch != ev.Health.Epoch {
+					t.Errorf("point %s labeled epoch %d inside delta for epoch %d",
+						p.Series, p.Epoch, ev.Health.Epoch)
+				}
+			}
+		}
+		for _, a := range ev.Health.Alerts {
+			if a.Rule == "always" && a.State == health.StateFiring {
+				alertSeen = true
+			}
+		}
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	// The subscription may land after epoch 0 published, but most of the
+	// run must have streamed through.
+	if deltas < epochs-2 {
+		t.Fatalf("received %d health deltas of %d epochs", deltas, epochs)
+	}
+	if !pointsSeen {
+		t.Error("no health delta carried series points")
+	}
+	if !alertSeen {
+		t.Error("the always-firing rule never surfaced on the wire")
+	}
+	// Serving registered the server-plane series alongside the gateway's.
+	found := false
+	for _, name := range st.SeriesNames() {
+		if name == "server.fanout_drops" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("server.fanout_drops not registered; series: %v", st.SeriesNames())
+	}
 }
 
 // jsonBytes re-marshals a snapshot deterministically for comparison.

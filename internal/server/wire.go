@@ -4,7 +4,7 @@
 // operator control plane (pause/resume, rate override, channel-plan swap,
 // frame-capture start/stop) on the same wire.
 //
-// # Protocol (version 3)
+// # Protocol (version 4)
 //
 // Version 2 is version 1 plus the 0x17 obs message: a per-epoch metrics
 // dump from the server's observability registry (internal/obs), sent to
@@ -13,6 +13,11 @@
 // message: a black-box anomaly dump from the gateway's flight recorder
 // (internal/flight), streamed to flight subscribers of servers running
 // with a recorder attached.
+// Version 4 adds the health subscription bit (8) and the 0x19 health
+// message: the link-health plane's per-epoch delta (internal/health) —
+// the raw points appended that epoch plus any SLO alert transitions —
+// streamed to health subscribers of servers running with a health store
+// attached.
 //
 // Both directions open with a 12-byte prelude and then exchange CRC-framed
 // messages, reusing the chunk idiom of internal/trace:
@@ -25,7 +30,7 @@
 // the length field, and the payload. Client-to-server message types:
 //
 //	0x01 subscribe    — u8 bitmask: 1 = frame events, 2 = epoch metrics,
-//	                    4 = flight anomaly dumps
+//	                    4 = flight anomaly dumps, 8 = health deltas
 //	0x02 pause        — empty; epoch loop idles until resume
 //	0x03 resume       — empty
 //	0x04 rateOverride — tag(i32, <0 = all) k(u8): force downlink rate
@@ -57,6 +62,10 @@
 //	                    subscribers whenever an anomaly triggers a
 //	                    black-box dump; only sent by servers with
 //	                    Config.Flight set
+//	0x19 health       — JSON health.Delta: the link-health plane's sealed
+//	                    epoch — raw series points plus SLO alert
+//	                    transitions — once per served epoch; only sent by
+//	                    servers with Config.Health set
 //
 // Control messages are fire-and-forget: they are queued and applied by the
 // epoch loop at the next epoch boundary, so they serialize with serving and
@@ -81,7 +90,7 @@ import (
 )
 
 // Version is the wire protocol version this package speaks.
-const Version = 3
+const Version = 4
 
 // wireMagic opens every protocol stream (and every capture file).
 const wireMagic = "SAIYWIR\x00"
@@ -108,6 +117,7 @@ const (
 	msgBye         = 0x16
 	msgObs         = 0x17
 	msgFlight      = 0x18
+	msgHealth      = 0x19
 )
 
 // Subscription bits carried by msgSubscribe.
@@ -115,6 +125,7 @@ const (
 	subFrames  = 1 << 0
 	subMetrics = 1 << 1
 	subFlight  = 1 << 2
+	subHealth  = 1 << 3
 )
 
 // maxMsgBytes bounds a single message payload (16 MiB). Protocol messages

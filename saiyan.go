@@ -14,6 +14,7 @@ import (
 	"saiyan/internal/flight"
 	"saiyan/internal/fxp"
 	"saiyan/internal/gateway"
+	"saiyan/internal/health"
 	"saiyan/internal/lora"
 	"saiyan/internal/mac"
 	"saiyan/internal/obs"
@@ -480,6 +481,9 @@ const (
 	// ServerEventFlight is one anomaly-triggered flight-recorder dump,
 	// sent only by servers running with ServerConfig.Flight set.
 	ServerEventFlight = server.EventFlight
+	// ServerEventHealth is the link-health plane's per-epoch delta, sent
+	// only by servers running with ServerConfig.Health set.
+	ServerEventHealth = server.EventHealth
 )
 
 // ServerProtocolVersion is the wire protocol version this build speaks.
@@ -599,6 +603,70 @@ func FormatFlightTrace(trace uint64) string { return flight.FormatTrace(trace) }
 // ParseFlightTrace parses a trace ID as printed by FormatFlightTrace
 // (an optional 0x prefix is accepted).
 func ParseFlightTrace(s string) (uint64, bool) { return flight.ParseTrace(s) }
+
+// Link-health plane types (internal/health): deterministic time-series
+// rollups, a declarative SLO rules engine, and an alert journal. The
+// gateway samples per-channel PRR/SNR/occupancy, per-rate frame counts,
+// and its epoch-report scalars into a HealthStore at every epoch
+// boundary and evaluates the rules there, so rollups, alert IDs, and
+// wire deltas are byte-identical at any worker count, with metrics on
+// or off. Hand one store to GatewayConfig.Health and ServerConfig.Health;
+// read it back through the /health and /timeseries telemetry endpoints,
+// the health wire message, `saiyan watch -health`, or `saiyan health`.
+// A nil *HealthStore is valid everywhere and disables the plane, like a
+// nil ObsRegistry.
+type (
+	// HealthStore holds the rollup rings, rule state, and alert journal;
+	// build with NewHealthStore.
+	HealthStore = health.Store
+	// HealthOptions sizes a store and declares its rules. Zero value:
+	// every field defaults (512 raw bins, fan-in 8, 3 tiers, no rules).
+	HealthOptions = health.Options
+	// HealthRule is one declarative SLO rule.
+	HealthRule = health.Rule
+	// HealthRuleKind selects a rule's evaluation strategy (threshold,
+	// windowed mean, consecutive breach, burn rate).
+	HealthRuleKind = health.Kind
+	// HealthRuleOp is a rule's comparison direction (below / above).
+	HealthRuleOp = health.Op
+	// HealthAlert is one journal entry: a firing or clearing transition
+	// with its deterministic ID and exemplar trace IDs.
+	HealthAlert = health.Alert
+	// HealthDelta is one epoch's raw points and alert transitions — the
+	// health wire message payload.
+	HealthDelta = health.Delta
+	// HealthPoint is one raw sample inside a delta.
+	HealthPoint = health.Point
+	// HealthSeries is one named series' append handle; nil is a no-op.
+	HealthSeries = health.Series
+	// HealthBin is one rollup bin (min/max/sum/count over a tier span).
+	HealthBin = health.Bin
+)
+
+// Health rule kinds and comparison directions (HealthRule.Kind / .Op).
+const (
+	HealthKindThreshold         = health.KindThreshold
+	HealthKindWindowMean        = health.KindWindowMean
+	HealthKindConsecutiveBreach = health.KindConsecutiveBreach
+	HealthKindBurnRate          = health.KindBurnRate
+	HealthOpBelow               = health.OpBelow
+	HealthOpAbove               = health.OpAbove
+)
+
+// Health alert states (HealthAlert.State).
+const (
+	HealthStateFiring  = health.StateFiring
+	HealthStateCleared = health.StateCleared
+)
+
+// NewHealthStore validates opts (including every rule) and builds a
+// link-health store.
+func NewHealthStore(opts HealthOptions) (*HealthStore, error) { return health.New(opts) }
+
+// DefaultHealthRules returns the stock SLO rule set: per-channel PRR
+// degradation, SNR floor, delivery-ratio burn rate, and a retransmission
+// storm threshold.
+func DefaultHealthRules() []HealthRule { return health.DefaultRules() }
 
 // Experiment harness types.
 type (

@@ -88,6 +88,21 @@ func TestZeroValueConfigContract(t *testing.T) {
 		srv.Close()
 	}
 
+	// The health store follows the zero-value side of the contract: an
+	// empty HealthOptions defaults every knob, the stock rule set
+	// validates, and a malformed rule is rejected descriptively.
+	if hs, err := saiyan.NewHealthStore(saiyan.HealthOptions{}); err != nil || hs == nil {
+		t.Errorf("NewHealthStore(zero): %v", err)
+	}
+	if hs, err := saiyan.NewHealthStore(saiyan.HealthOptions{Rules: saiyan.DefaultHealthRules()}); err != nil || hs == nil {
+		t.Errorf("NewHealthStore(DefaultHealthRules): %v", err)
+	}
+	if _, err := saiyan.NewHealthStore(saiyan.HealthOptions{Rules: []saiyan.HealthRule{{Name: "x"}}}); err != nil {
+		requireDescriptive(t, "NewHealthStore(rule without series)", err)
+	} else {
+		t.Error("NewHealthStore: accepted a rule without a series pattern")
+	}
+
 	// The Default*Config helpers are conveniences over the same pattern,
 	// not a separate code path: they must construct successfully.
 	if d, err := saiyan.NewDemodulator(saiyan.DefaultConfig()); err != nil || d == nil {
